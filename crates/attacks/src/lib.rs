@@ -1,0 +1,28 @@
+//! Attack proof-of-concepts for the Perspective reproduction.
+//!
+//! Implements the paper's security evaluation (Chapter 8): *active*
+//! transient execution attacks (the attacker's own kernel thread leaking
+//! foreign data — [`active`]) and *passive* attacks (the victim's kernel
+//! thread hijacked into a leak gadget — [`passive`]), run against every
+//! evaluated defense scheme on the simulated core via the shared
+//! [`lab::AttackLab`] harness.
+//!
+//! The attacks exercise the real microarchitectural mechanisms end to
+//! end: branch mistraining through the shared TAGE/BTB/RSB state,
+//! transient wrong-path loads that fill the caches before squash, and a
+//! flush+reload receiver timed with in-µISA `rdtsc` loops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod bhi;
+pub mod ebpf_attack;
+pub mod lab;
+pub mod passive;
+
+pub use active::{active_attack_succeeds, run_active_attack, ActiveAttackReport};
+pub use bhi::{bhi_succeeds, plain_v2_fails_under_ibrs, run_bhi, BhiReport};
+pub use ebpf_attack::{run_ebpf_attack, EbpfAttackReport};
+pub use lab::{AttackLab, Scheme};
+pub use passive::{passive_attack_succeeds, run_btb_hijack, run_retbleed, PassiveAttackReport};

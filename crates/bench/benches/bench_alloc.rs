@@ -1,0 +1,63 @@
+//! Criterion bench: allocator fast paths — the secure slab allocator vs.
+//! the packing baseline (the §9.2 fragmentation/reassignment substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use persp_kernel::mm::{BuddyAllocator, SlabAllocator};
+use persp_kernel::sink::NullSink;
+use persp_kernel::sink::{AllocSink, Owner};
+use perspective::dsv::DsvTable;
+use std::hint::black_box;
+
+fn bench_slab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc/slab-kmalloc-kfree");
+    for secure in [false, true] {
+        let label = if secure { "secure" } else { "baseline" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &secure, |b, &secure| {
+            let mut buddy = BuddyAllocator::new(1 << 14);
+            let mut slab = SlabAllocator::new(secure);
+            let mut sink = NullSink;
+            b.iter(|| {
+                let mut objs = Vec::with_capacity(64);
+                for i in 0..64u32 {
+                    let cg = 1 + i % 4;
+                    if let Some(va) = slab.kmalloc(64, cg, &mut buddy, &mut sink) {
+                        objs.push(va);
+                    }
+                }
+                for va in objs {
+                    slab.kfree(va, &mut buddy, &mut sink);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("alloc/buddy-alloc-free-order3", |b| {
+        let mut buddy = BuddyAllocator::new(1 << 14);
+        let mut sink = NullSink;
+        b.iter(|| {
+            let f = buddy.alloc(3, Owner::Shared, &mut sink).expect("space");
+            buddy.free(f, &mut sink);
+        });
+    });
+}
+
+fn bench_dsv_classify(c: &mut Criterion) {
+    c.bench_function("alloc/dsv-classify", |b| {
+        let mut dsv = DsvTable::new();
+        dsv.register_context(1, 10);
+        for f in 0..2048 {
+            dsv.assign_frames(f, 1, Owner::Cgroup(10 + (f % 4) as u32));
+        }
+        let mut f = 0u64;
+        b.iter(|| {
+            f = (f + 7) % 2048;
+            black_box(dsv.classify(persp_kernel::layout::frame_to_va(f), 1))
+        });
+    });
+}
+
+criterion_group!(benches, bench_slab, bench_buddy, bench_dsv_classify);
+criterion_main!(benches);

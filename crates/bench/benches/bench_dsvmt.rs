@@ -1,0 +1,110 @@
+//! Criterion bench: DSVMT tree walks, range updates, and the tagged
+//! metadata caches — the per-access machinery whose latency budget
+//! Table 9.1 characterizes and whose hit rates §9.2 reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perspective::dsvmt::DsvmtTree;
+use perspective::hwcache::{HwCacheConfig, HwLookup, TaggedMetadataCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const PAGE: u64 = 1 << 12;
+
+/// A tree shaped like a live system: a few uniform huge regions plus a
+/// fragmented working set of 4 KiB leaves.
+fn populated_tree() -> DsvmtTree {
+    let mut t = DsvmtTree::new();
+    t.set_range(0, 2 << 30, true); // direct map, uniform
+    t.set_range(2 << 30, 64 << 21, false); // kernel-private
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..2_000 {
+        let page = rng.gen_range(0u64..(1 << 18));
+        t.set_range((3 << 30) + page * PAGE, PAGE, rng.gen_bool(0.5));
+    }
+    t
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut tree = populated_tree();
+    let mut rng = StdRng::seed_from_u64(11);
+    let addrs: Vec<u64> = (0..1024)
+        .map(|_| rng.gen_range(0u64..(4u64 << 30)))
+        .collect();
+
+    c.bench_function("dsvmt/walk-mixed-1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &va in &addrs {
+                acc += u64::from(tree.walk(black_box(va)).in_view);
+            }
+            black_box(acc)
+        });
+    });
+
+    c.bench_function("dsvmt/set-range-1g-uniform", |b| {
+        b.iter(|| {
+            let mut t = populated_tree();
+            t.set_range(3 << 30, 1 << 30, true);
+            black_box(t.footprint())
+        });
+    });
+
+    c.bench_function("dsvmt/set-range-4k-churn", |b| {
+        b.iter(|| {
+            let mut t = DsvmtTree::new();
+            for p in 0..256u64 {
+                t.set_range(p * PAGE * 3, PAGE, true);
+            }
+            black_box(t.footprint())
+        });
+    });
+}
+
+fn bench_hwcache(c: &mut Criterion) {
+    let tree = std::cell::RefCell::new(populated_tree());
+    let mut cache = TaggedMetadataCache::new(HwCacheConfig::dsvmt_paper());
+    let mut rng = StdRng::seed_from_u64(13);
+    // Hot working set small enough to mostly hit (the ~99 % regime the
+    // paper reports), with a cold tail forcing refills.
+    let hot: Vec<u64> = (0..64).map(|i| i * PAGE).collect();
+    let cold: Vec<u64> = (0..64)
+        .map(|_| rng.gen_range(0u64..(4u64 << 30)))
+        .collect();
+
+    c.bench_function("dsvmt-cache/lookup-hot", |b| {
+        // Pre-warm.
+        for &va in &hot {
+            let aligned = va & !(cache.span_bytes() - 1);
+            cache.refill(va, 1, |i| {
+                tree.borrow_mut().walk(aligned + u64::from(i) * PAGE).in_view
+            });
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &va in &hot {
+                acc += u64::from(matches!(cache.lookup(black_box(va), 1), HwLookup::Hit(_)));
+            }
+            black_box(acc)
+        });
+    });
+
+    c.bench_function("dsvmt-cache/miss-refill-walk", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &va in &cold {
+                if matches!(cache.lookup(black_box(va), 2), HwLookup::Miss) {
+                    let aligned = va & !(cache.span_bytes() - 1);
+                    cache.refill(va, 2, |i| {
+                        tree.borrow_mut().walk(aligned + u64::from(i) * PAGE).in_view
+                    });
+                    acc += 1;
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_tree, bench_hwcache);
+criterion_main!(benches);

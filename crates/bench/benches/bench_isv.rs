@@ -1,0 +1,53 @@
+//! Criterion bench: ISV generation and lookup — the hot paths behind
+//! Tables 8.1/8.2 (E3/E4) and the per-load policy checks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use persp_kernel::body::emit_kernel;
+use persp_kernel::callgraph::{CallGraph, KernelConfig};
+use persp_kernel::syscalls::Sysno;
+use perspective::isv::Isv;
+use std::hint::black_box;
+
+fn graph() -> CallGraph {
+    let mut g = CallGraph::generate(KernelConfig::test_small());
+    emit_kernel(&mut g);
+    g
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let g = graph();
+    c.bench_function("isv/static-generation-8-syscalls", |b| {
+        let profile = &Sysno::ALL[..8];
+        b.iter(|| black_box(Isv::static_for(&g, profile)));
+    });
+    c.bench_function("isv/live-reachability-all-syscalls", |b| {
+        b.iter(|| black_box(g.live_reachable(Sysno::ALL)));
+    });
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let g = graph();
+    let isv = Isv::static_for(&g, Sysno::ALL);
+    let pcs: Vec<u64> = g.funcs.iter().map(|f| f.entry_va + 8).collect();
+    c.bench_function("isv/contains-va-lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % pcs.len();
+            black_box(isv.contains_va(pcs[i]))
+        });
+    });
+}
+
+fn bench_hardening(c: &mut Criterion) {
+    let g = graph();
+    c.bench_function("isv/audit-hardening", |b| {
+        b.iter(|| {
+            let isv = Isv::static_for(&g, Sysno::ALL);
+            let flagged: Vec<_> = g.gadgets.iter().map(|(f, _)| *f).collect();
+            black_box(isv.hardened_with_audit(&g, flagged))
+        });
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_lookup, bench_hardening);
+criterion_main!(benches);

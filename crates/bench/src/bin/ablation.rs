@@ -1,0 +1,64 @@
+//! Ablation: which view mechanism pays for what — DSV-only, ISV-only,
+//! and full Perspective, per workload.
+//!
+//! The paper's design argument (§5.1) is that the two mechanisms address
+//! disjoint attack classes; this ablation shows their costs are largely
+//! additive and individually small.
+
+use persp_bench::{header, kernel_config, pct};
+use persp_workloads::{lebench, runner};
+use perspective::policy::PerspectiveConfig;
+use perspective::scheme::Scheme;
+
+fn main() {
+    let kcfg = kernel_config();
+    header(
+        "Ablation: DSV-only / ISV-only / full Perspective",
+        "design analysis (§5.1, §9.2)",
+    );
+
+    let configs: [(&str, PerspectiveConfig); 3] = [
+        (
+            "DSV only",
+            PerspectiveConfig {
+                enforce_isv: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "ISV only",
+            PerspectiveConfig {
+                enforce_dsv: false,
+                ..Default::default()
+            },
+        ),
+        ("DSV + ISV", PerspectiveConfig::default()),
+    ];
+
+    println!(
+        "{:<14} | {:>10} | {:>10} | {:>10}",
+        "test", "DSV only", "ISV only", "DSV+ISV"
+    );
+    println!("{}", "-".repeat(54));
+    for name in [
+        "getpid",
+        "select",
+        "small-read",
+        "poll",
+        "page-fault",
+        "big-fork",
+    ] {
+        let w = lebench::by_name(name).unwrap();
+        let base = runner::measure(Scheme::Unsafe, kcfg, &w);
+        print!("{name:<14}");
+        for (_, cfg) in &configs {
+            let m = runner::measure_cfg(Scheme::Perspective, kcfg, &w, *cfg);
+            let ov = m.stats.cycles as f64 / base.stats.cycles.max(1) as f64 - 1.0;
+            print!(" | {:>10}", pct(ov));
+        }
+        println!();
+    }
+    println!();
+    println!("DSV-only leaves passive attacks open; ISV-only leaves active attacks");
+    println!("open — the full framework is needed for the complete taxonomy (§5.1).");
+}

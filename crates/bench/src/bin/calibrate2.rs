@@ -1,0 +1,51 @@
+//! Calibration tool: per-scheme overheads, kernel-time fractions, and
+//! hardware-cache hit rates for a representative workload slice. Used to
+//! tune the timing model toward the Figure 9.2/9.3 targets; see
+//! DESIGN.md §6.
+
+use persp_kernel::callgraph::KernelConfig;
+use persp_workloads::{apps, lebench, runner};
+use perspective::scheme::Scheme;
+use std::time::Instant;
+
+fn main() {
+    let kcfg = KernelConfig::paper();
+    let schemes = [
+        Scheme::Unsafe,
+        Scheme::Fence,
+        Scheme::PerspectiveStatic,
+        Scheme::Perspective,
+    ];
+    for name in ["getpid", "select", "small-read", "big-fork", "page-fault"] {
+        let w = lebench::by_name(name).unwrap();
+        let t0 = Instant::now();
+        let ms = runner::measure_schemes(&schemes, kcfg, &w);
+        print!("{name:12}");
+        for m in &ms[1..] {
+            print!(" {}={:+.1}%", m.scheme, 100.0 * runner::overhead(m, &ms[0]));
+        }
+        let m = &ms[3];
+        print!(
+            "  kfrac={:.2} isv_hit={:.3} dsvmt_hit={:.3} f/ki={:.1}",
+            ms[0].stats.kernel_time_fraction(),
+            m.isv_cache.unwrap().hit_rate(),
+            m.dsvmt_cache.unwrap().hit_rate(),
+            m.stats.fences_per_kilo_inst()
+        );
+        println!("  ({:?})", t0.elapsed());
+    }
+    for app in apps::apps() {
+        let t0 = Instant::now();
+        let ms = runner::measure_schemes(&schemes, kcfg, &app.workload);
+        print!("{:12}", app.workload.name);
+        for m in &ms[1..] {
+            print!(" {}={:+.1}%", m.scheme, 100.0 * runner::overhead(m, &ms[0]));
+        }
+        println!(
+            "  kfrac={:.2} (paper {:.2})  ({:?})",
+            ms[0].stats.kernel_time_fraction(),
+            app.paper_kernel_frac,
+            t0.elapsed()
+        );
+    }
+}

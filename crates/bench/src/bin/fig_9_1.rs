@@ -1,0 +1,69 @@
+//! Experiment E5 — Figure 9.1: speedup of Kasper's gadget discovery rate
+//! (gadgets/hour) when the search is bounded to each workload's ISV.
+//!
+//! Per workload, two fuzz-and-scan campaigns run on the live simulator:
+//! the whole-interface baseline and the ISV-bounded campaign. The rate
+//! counts discoveries of the gadgets that remain speculatively reachable
+//! under the deployed ISV (the audit targets, §8.2); work is simulated
+//! execution cycles plus taint-analysis instructions.
+
+use persp_bench::{header, kernel_config, lebench_union_workload, trace_workload};
+use persp_scanner::fuzzer::compare_bounded;
+use persp_workloads::{apps, SimInstance};
+use perspective::isv::Isv;
+use perspective::scheme::Scheme;
+
+fn main() {
+    let kcfg = kernel_config();
+    header(
+        "Figure 9.1: Speedup of Kasper's gadget discovery rate",
+        "paper §8.2, Figure 9.1",
+    );
+
+    let mut workloads = vec![lebench_union_workload()];
+    workloads.extend(apps::apps().into_iter().map(|a| a.workload));
+
+    println!(
+        "{:<10} | {:>12} | {:>14} | {:>14} | {:>8}",
+        "workload", "ISV funcs", "baseline rate", "bounded rate", "speedup"
+    );
+    println!("{}", "-".repeat(72));
+    let mut speedups = Vec::new();
+    for w in &workloads {
+        // Derive the workload's dynamic ISV from a real trace.
+        let trace = trace_workload(kcfg, w);
+        let mut inst = SimInstance::new(Scheme::Unsafe, kcfg);
+        let (isv_funcs, n_funcs) = {
+            let kernel = inst.kernel.borrow();
+            let isv = Isv::dynamic_from_trace(&kernel.graph, &trace);
+            (isv.funcs().clone(), isv.num_funcs())
+        };
+        let asid = inst.asid;
+        let kernel_handle = inst.kernel.clone();
+        let (baseline, bounded) = compare_bounded(
+            &mut inst.core,
+            kernel_handle,
+            asid,
+            &w.syscall_profile(),
+            &isv_funcs,
+            16,
+        );
+        let b = baseline.relevant_rate(&isv_funcs);
+        let r = bounded.relevant_rate(&isv_funcs);
+        let speedup = if b > 0.0 { r / b } else { f64::INFINITY };
+        speedups.push(speedup);
+        println!(
+            "{:<10} | {:>12} | {:>14.1} | {:>14.1} | {:>7.2}x",
+            w.name, n_funcs, b, r, speedup
+        );
+    }
+    println!("{}", "-".repeat(72));
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!(
+        "{:<10} | {:>12} | {:>14} | {:>14} | {:>7.2}x",
+        "average", "", "", "", avg
+    );
+    println!();
+    println!("paper: speedups 1.14x-2.23x across workloads, 1.57x on average;");
+    println!("       search space reduced from 28K kernel functions to ~1.4K.");
+}

@@ -1,0 +1,54 @@
+//! Experiment E6/E12/E13 — Figure 9.2: LEBench latency normalized to the
+//! UNSAFE baseline under each defense scheme.
+//!
+//! Default: the paper's five main schemes. `--all` adds the §9.1
+//! comparison points (DOM, STT, KPTI+Retpoline, Retpoline-only).
+
+use persp_bench::{header, kernel_config, norm};
+use persp_workloads::{lebench, runner};
+use perspective::scheme::Scheme;
+
+fn main() {
+    let all = std::env::args().any(|a| a == "--all");
+    let kcfg = kernel_config();
+    let schemes: Vec<Scheme> = if all {
+        Scheme::ALL.to_vec()
+    } else {
+        Scheme::MAIN.to_vec()
+    };
+    header(
+        "Figure 9.2: LEBench normalized latency (UNSAFE = 1.000)",
+        "paper §9.1, Figure 9.2 (+ §9.1 hardware/software comparisons with --all)",
+    );
+
+    print!("{:<16}", "test");
+    for s in &schemes[1..] {
+        print!(" {:>18}", s.name());
+    }
+    println!();
+    println!("{}", "-".repeat(16 + 19 * (schemes.len() - 1)));
+
+    let mut sums = vec![0.0f64; schemes.len()];
+    let suite = lebench::suite();
+    for w in &suite {
+        let ms = runner::measure_schemes(&schemes, kcfg, w);
+        print!("{:<16}", w.name);
+        for (i, m) in ms.iter().enumerate().skip(1) {
+            let normalized = m.stats.cycles as f64 / ms[0].stats.cycles.max(1) as f64;
+            sums[i] += normalized;
+            print!(" {:>18}", norm(normalized));
+        }
+        println!();
+    }
+    println!("{}", "-".repeat(16 + 19 * (schemes.len() - 1)));
+    print!("{:<16}", "geomean-ish avg");
+    for (i, _) in schemes.iter().enumerate().skip(1) {
+        print!(" {:>18}", norm(sums[i] / suite.len() as f64));
+    }
+    println!();
+    println!();
+    println!("paper: FENCE avg 1.475 (select/poll up to 3.28),");
+    println!("       PERSPECTIVE-STATIC 1.041, PERSPECTIVE 1.036, PERSPECTIVE++ 1.035;");
+    println!("       §9.1 comparisons: DOM 1.231, STT 1.037, KPTI+Retpoline 1.145,");
+    println!("       Retpoline-only 1.066.");
+}

@@ -1,0 +1,166 @@
+//! Extension experiment (paper §11 future work): **per-syscall ISVs**.
+//!
+//! The paper's ISVs are per-*context*: one view covering every syscall
+//! the process may make. Its future-work discussion asks how much
+//! tighter views could get. The natural next granularity is switching
+//! the view at syscall dispatch, so that while `read` executes the
+//! speculation window only spans `read`'s own closure — a process's
+//! declared profile no longer inflates every individual window.
+//!
+//! This binary quantifies the headroom on the synthetic kernel:
+//!
+//! * `per-sys avg` — mean view size over the workload's syscalls
+//!   (unweighted: what the *verifier/loader* must reason about),
+//! * `effective` — the frequency-weighted mean view size over the
+//!   workload's executed steps (what the *attacker* faces on average),
+//! * both compared against the process-wide static view the paper ships.
+//!
+//! The shared utility layer bounds the gain: every per-syscall view
+//! still contains the dispatcher and common helpers, so the reduction
+//! saturates near the pool-to-utility ratio rather than approaching
+//! zero.
+
+use persp_bench::{header, kernel_config, lebench_union_workload, norm, pct};
+use persp_kernel::syscalls::Sysno;
+use persp_workloads::apps;
+use persp_workloads::lebench;
+use persp_workloads::{measure, measure_per_syscall};
+use persp_workloads::spec::Workload;
+use perspective::isv::Isv;
+use perspective::scheme::Scheme;
+use std::collections::HashMap;
+
+fn main() {
+    let kcfg = kernel_config();
+    header(
+        "Extension: per-syscall ISVs (future-work granularity)",
+        "paper §11 — not a paper table; extension analysis",
+    );
+
+    let mut workloads = vec![lebench_union_workload()];
+    workloads.extend(apps::apps().into_iter().map(|a| a.workload));
+
+    let inst = persp_workloads::SimInstance::new(Scheme::Unsafe, kcfg);
+    let kernel = inst.kernel.borrow();
+    let graph = &kernel.graph;
+    let total = graph.len() as f64;
+
+    // Per-syscall static closures are workload-independent: compute once.
+    let mut per_sys: HashMap<Sysno, usize> = HashMap::new();
+    for &sys in Sysno::ALL {
+        per_sys.insert(sys, Isv::static_for(graph, &[sys]).num_funcs());
+    }
+
+    println!(
+        "{:<10} | {:>12} | {:>12} | {:>12} | {:>10}",
+        "Workload", "proc-wide", "per-sys avg", "effective", "tightening"
+    );
+    println!("{}", "-".repeat(70));
+
+    let mut sum_tighten = 0.0;
+    for w in &workloads {
+        let profile = w.syscall_profile();
+        let proc_wide = Isv::static_for(graph, &profile).num_funcs();
+
+        let avg: f64 = profile.iter().map(|s| per_sys[s] as f64).sum::<f64>()
+            / profile.len() as f64;
+
+        let effective = effective_surface(w, &per_sys);
+
+        // How much smaller the average speculation window's code surface
+        // becomes relative to the process-wide view.
+        let tighten = 1.0 - effective / proc_wide as f64;
+        sum_tighten += tighten;
+
+        println!(
+            "{:<10} | {:>12} | {:>12.0} | {:>12.0} | {:>10}",
+            w.name, proc_wide, avg, effective, pct(tighten)
+        );
+    }
+    println!("{}", "-".repeat(70));
+    println!(
+        "average tightening over process-wide static views: {}",
+        pct(sum_tighten / workloads.len() as f64)
+    );
+
+    // Where the floor is: the shared part every view must contain.
+    let min_view = Sysno::ALL
+        .iter()
+        .map(|s| per_sys[s])
+        .min()
+        .unwrap_or(0) as f64;
+    let max_view = Sysno::ALL
+        .iter()
+        .map(|s| per_sys[s])
+        .max()
+        .unwrap_or(0) as f64;
+    println!();
+    println!(
+        "per-syscall closures span {:.0}..{:.0} functions ({}..{} of the kernel);",
+        min_view,
+        max_view,
+        pct(min_view / total),
+        pct(max_view / total)
+    );
+    println!("the floor is the dispatcher + shared utility layer that every view keeps.");
+    drop(kernel);
+    drop(inst);
+
+    // ------------------------------------------------------------------
+    // Enforcement cost: the conservative flush-on-dispatch implementation
+    // (`measure_per_syscall`) vs. the paper's process-wide static views.
+    // ------------------------------------------------------------------
+    println!();
+    println!("enforcement cost (LEBench subset, flush-on-dispatch model):");
+    println!(
+        "{:<16} | {:>10} | {:>10} | {:>12} | {:>12}",
+        "test", "P-STATIC", "per-sys", "hit P-STATIC", "hit per-sys"
+    );
+    println!("{}", "-".repeat(72));
+    let mut mixed = lebench::by_name("small-read").expect("suite test");
+    mixed
+        .steps
+        .extend(lebench::by_name("getpid").expect("suite test").steps);
+    mixed
+        .steps
+        .extend(lebench::by_name("mmap").expect("suite test").steps);
+    mixed.name = "read+getpid+mmap";
+    let singles = ["getpid", "small-read", "mmap", "select"]
+        .into_iter()
+        .map(|n| lebench::by_name(n).expect("suite test"));
+    for w in singles.chain([mixed]) {
+        let name = w.name;
+        let base = measure(Scheme::Unsafe, kcfg, &w).stats.cycles as f64;
+        // (single-syscall tests never switch views mid-run: identical
+        // columns there are the sanity check; the mixed row pays for
+        // real dispatch switching.)
+        let wide = measure(Scheme::PerspectiveStatic, kcfg, &w);
+        let narrow = measure_per_syscall(Scheme::Perspective, kcfg, &w);
+        println!(
+            "{:<16} | {:>10} | {:>10} | {:>12} | {:>12}",
+            name,
+            norm(wide.stats.cycles as f64 / base),
+            norm(narrow.stats.cycles as f64 / base),
+            pct(wide.isv_cache.map_or(0.0, |c| c.hit_rate())),
+            pct(narrow.isv_cache.map_or(0.0, |c| c.hit_rate())),
+        );
+    }
+    println!();
+    println!("the enforcement model switches the active view at Syscall commit and");
+    println!("flushes the ISV cache per dispatch (an ASID+sysno tag extension would");
+    println!("avoid the flushes); the columns above price that conservative variant.");
+}
+
+/// Frequency-weighted mean view size over the workload's executed steps.
+fn effective_surface(w: &Workload, per_sys: &HashMap<Sysno, usize>) -> f64 {
+    let mut counts: HashMap<Sysno, u64> = HashMap::new();
+    for s in w.startup_steps.iter().chain(&w.steps) {
+        *counts.entry(s.sys).or_insert(0) += 1;
+    }
+    let total: u64 = counts.values().sum();
+    counts
+        .iter()
+        .map(|(sys, n)| per_sys[sys] as f64 * (*n as f64))
+        .sum::<f64>()
+        / total as f64
+}

@@ -1,0 +1,44 @@
+//! Runs every experiment binary's logic in sequence — the one-command
+//! regeneration of all the paper's tables and figures.
+//!
+//! Each experiment is also available as its own binary (`table_8_1`,
+//! `fig_9_2`, ...); see DESIGN.md §4 for the index. Set
+//! `PERSPECTIVE_KERNEL=small` for a quick smoke run.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) {
+    println!(
+        "\n################ {bin} {} ################",
+        args.join(" ")
+    );
+    let exe = std::env::current_exe().expect("self path");
+    let dir = exe.parent().expect("bin dir");
+    let status = Command::new(dir.join(bin))
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(status.success(), "{bin} failed");
+}
+
+fn main() {
+    for bin in [
+        "table_4_1",
+        "table_7_1",
+        "table_8_1",
+        "table_8_2",
+        "security_poc",
+        "fig_9_1",
+        "fig_9_2",
+        "fig_9_3",
+        "table_9_1",
+        "table_10_1",
+        "sensitivity",
+        "ablation",
+        "per_syscall_views",
+        "cache_sweep",
+    ] {
+        run(bin, &[]);
+    }
+    println!("\nAll experiments completed.");
+}

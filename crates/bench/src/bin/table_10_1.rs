@@ -1,0 +1,49 @@
+//! Experiment E9 — Table 10.1: percentage of fenced instructions due to
+//! ISV vs. DSV, plus the fences-per-kilo-instruction rates of §9.2.
+
+use persp_bench::{header, kernel_config, lebench_union_workload, pct};
+use persp_kernel::callgraph::KernelConfig;
+use persp_workloads::{apps, runner, Workload};
+use perspective::scheme::Scheme;
+
+fn row(kcfg: KernelConfig, w: &Workload) {
+    print!("{:<10}", w.name);
+    for scheme in [
+        Scheme::PerspectiveStatic,
+        Scheme::Perspective,
+        Scheme::PerspectivePlusPlus,
+    ] {
+        let m = runner::measure(scheme, kcfg, w);
+        let f = m.fences.expect("perspective scheme");
+        let isv_share = f.isv_fraction();
+        print!(" | {:>5} / {:>5}", pct(isv_share), pct(1.0 - isv_share));
+    }
+    let m = runner::measure(Scheme::Perspective, kcfg, w);
+    let f = m.fences.expect("perspective scheme");
+    let ki = m.stats.committed_insts.max(1) as f64 / 1000.0;
+    println!(
+        "   [{:>5.1} ISV f/ki, {:>5.1} DSV f/ki]",
+        f.isv as f64 / ki,
+        (f.dsv + f.unknown) as f64 / ki
+    );
+}
+
+fn main() {
+    let kcfg = kernel_config();
+    header(
+        "Table 10.1: Percentage of fenced instructions due to ISV and DSV",
+        "paper §9.2, Table 10.1",
+    );
+    println!(
+        "{:<10} | {:^13} | {:^13} | {:^13}",
+        "workload", "ISV-S/DSV", "ISV/DSV", "ISV++/DSV"
+    );
+    println!("{}", "-".repeat(60));
+    row(kcfg, &lebench_union_workload());
+    for app in apps::apps() {
+        row(kcfg, &app.workload);
+    }
+    println!();
+    println!("paper: ISV share 13-27% (static), 12-23% (dynamic); DSV 73-88%;");
+    println!("       fence rates ~9 (ISV) and ~37 (DSV) fences per kilo-instruction.");
+}

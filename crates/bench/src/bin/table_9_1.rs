@@ -1,0 +1,27 @@
+//! Experiment E8 — Table 9.1: hardware structure characterization of the
+//! ISV and DSV caches at 22 nm (CACTI-style analytical model).
+
+use persp_bench::header;
+use persp_mem::sram::{characterize_22nm, SramConfig};
+
+fn main() {
+    header(
+        "Table 9.1: Hardware Structure Characterization (22 nm)",
+        "paper §9.2, Table 9.1",
+    );
+    println!(
+        "{:<14} | {:>12} | {:>12} | {:>12} | {:>12}",
+        "Configuration", "Area", "Access Time", "Dyn. Energy", "Leak. Power"
+    );
+    println!("{}", "-".repeat(72));
+    for cfg in [SramConfig::dsv_cache_paper(), SramConfig::isv_cache_paper()] {
+        let c = characterize_22nm(&cfg);
+        println!(
+            "{:<14} | {:>9.4} mm2 | {:>9.0} ps | {:>9.2} pJ | {:>9.2} mW",
+            cfg.name, c.area_mm2, c.access_ps, c.dynamic_pj, c.leakage_mw
+        );
+    }
+    println!();
+    println!("paper: DSV Cache 0.0024 mm2 / 114 ps / 1.21 pJ / 0.78 mW");
+    println!("       ISV Cache 0.0025 mm2 / 115 ps / 1.29 pJ / 0.79 mW");
+}

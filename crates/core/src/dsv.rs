@@ -1,0 +1,230 @@
+//! Data Speculation Views: per-context ownership of kernel data.
+//!
+//! A DSV "defines the set of data that a given execution context owns"
+//! (§5.1). Ownership is established *through allocations* (§5.2): the
+//! kernel's buddy and slab allocators report every assignment through the
+//! [`AllocSink`] interface, and this table is the software-side metadata
+//! the DSVMT hardware consults.
+//!
+//! Classification of an address against a context:
+//!
+//! * [`DsvClass::Owned`] — allocated on behalf of this context's cgroup.
+//! * [`DsvClass::Shared`] — boot-time shared kernel data (per-cpu
+//!   variables, dispatch tables); part of every DSV.
+//! * [`DsvClass::Foreign`] — owned by a *different* cgroup: a speculative
+//!   access here is exactly what an active attack needs, and is blocked.
+//! * [`DsvClass::Unknown`] — no recorded provenance (§6.1 "Resolving
+//!   Unknown Allocations"): conservatively blocked.
+
+use persp_kernel::context::CgroupId;
+use persp_kernel::layout::va_to_frame;
+use persp_kernel::sink::{AllocSink, Owner};
+use persp_uarch::Asid;
+use std::collections::{BTreeMap, HashMap};
+
+/// How an address relates to a context's DSV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsvClass {
+    /// Inside the context's DSV.
+    Owned,
+    /// Shared kernel data, inside every DSV.
+    Shared,
+    /// Owned by another context — speculative access violates ownership.
+    Foreign,
+    /// Unknown provenance — conservatively outside every DSV.
+    Unknown,
+}
+
+impl DsvClass {
+    /// May the current context speculatively access data of this class?
+    pub fn speculation_allowed(self) -> bool {
+        matches!(self, DsvClass::Owned | DsvClass::Shared)
+    }
+}
+
+/// DSV bookkeeping statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DsvStats {
+    /// Frame-assignment events received.
+    pub frame_assigns: u64,
+    /// Frame-release events received.
+    pub frame_releases: u64,
+    /// VA-range assignments received.
+    pub va_assigns: u64,
+    /// Classification queries answered.
+    pub queries: u64,
+}
+
+/// The software DSV metadata table. Implements [`AllocSink`] so the
+/// kernel's allocators keep it current, exactly as Perspective hooks
+/// `alloc_pages()` and the secure slab allocator (§6.1).
+#[derive(Debug, Default)]
+pub struct DsvTable {
+    frames: HashMap<u64, Owner>,
+    va_ranges: BTreeMap<u64, (u64, Owner)>,
+    contexts: HashMap<Asid, CgroupId>,
+    stats: DsvStats,
+}
+
+impl DsvTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DsvStats {
+        self.stats
+    }
+
+    /// The cgroup an ASID belongs to, if registered.
+    pub fn cgroup_of(&self, asid: Asid) -> Option<CgroupId> {
+        self.contexts.get(&asid).copied()
+    }
+
+    /// Raw ownership of an address, independent of any context.
+    pub fn owner_of(&self, va: u64) -> Option<Owner> {
+        if let Some(frame) = va_to_frame(va) {
+            return self.frames.get(&frame).copied();
+        }
+        let (&start, &(len, owner)) = self.va_ranges.range(..=va).next_back()?;
+        (va < start + len).then_some(owner)
+    }
+
+    /// Classify an address against the DSV of `asid`.
+    pub fn classify(&mut self, va: u64, asid: Asid) -> DsvClass {
+        self.stats.queries += 1;
+        let Some(owner) = self.owner_of(va) else {
+            return DsvClass::Unknown;
+        };
+        match owner {
+            Owner::Shared => DsvClass::Shared,
+            Owner::Unknown => DsvClass::Unknown,
+            Owner::Cgroup(cg) => {
+                if self.contexts.get(&asid) == Some(&cg) {
+                    DsvClass::Owned
+                } else {
+                    DsvClass::Foreign
+                }
+            }
+        }
+    }
+
+    /// Number of frames with recorded ownership.
+    pub fn tracked_frames(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+impl AllocSink for DsvTable {
+    fn register_context(&mut self, asid: u16, cgroup: CgroupId) {
+        self.contexts.insert(asid, cgroup);
+    }
+
+    fn assign_frames(&mut self, first_frame: u64, count: u64, owner: Owner) {
+        self.stats.frame_assigns += 1;
+        for f in first_frame..first_frame + count {
+            self.frames.insert(f, owner);
+        }
+    }
+
+    fn release_frames(&mut self, first_frame: u64, count: u64) {
+        self.stats.frame_releases += 1;
+        for f in first_frame..first_frame + count {
+            self.frames.remove(&f);
+        }
+    }
+
+    fn assign_va_range(&mut self, va: u64, bytes: u64, owner: Owner) {
+        self.stats.va_assigns += 1;
+        self.va_ranges.insert(va, (bytes, owner));
+    }
+
+    fn release_va_range(&mut self, va: u64, _bytes: u64) {
+        self.va_ranges.remove(&va);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persp_kernel::layout::frame_to_va;
+
+    fn table_with_contexts() -> DsvTable {
+        let mut t = DsvTable::new();
+        t.register_context(1, 10);
+        t.register_context(2, 20);
+        t
+    }
+
+    #[test]
+    fn owned_frames_classify_by_cgroup() {
+        let mut t = table_with_contexts();
+        t.assign_frames(100, 2, Owner::Cgroup(10));
+        assert_eq!(t.classify(frame_to_va(100), 1), DsvClass::Owned);
+        assert_eq!(t.classify(frame_to_va(101), 1), DsvClass::Owned);
+        assert_eq!(t.classify(frame_to_va(100), 2), DsvClass::Foreign);
+    }
+
+    #[test]
+    fn shared_data_is_in_every_dsv() {
+        let mut t = table_with_contexts();
+        t.assign_va_range(0xFFFF_8400_0000_0000, 4096, Owner::Shared);
+        assert_eq!(t.classify(0xFFFF_8400_0000_0100, 1), DsvClass::Shared);
+        assert_eq!(t.classify(0xFFFF_8400_0000_0100, 2), DsvClass::Shared);
+        assert!(DsvClass::Shared.speculation_allowed());
+    }
+
+    #[test]
+    fn unrecorded_memory_is_unknown() {
+        let mut t = table_with_contexts();
+        assert_eq!(t.classify(frame_to_va(999), 1), DsvClass::Unknown);
+        assert_eq!(t.classify(0xFFFF_8600_0000_0000, 1), DsvClass::Unknown);
+        assert!(!DsvClass::Unknown.speculation_allowed());
+    }
+
+    #[test]
+    fn release_dissolves_ownership() {
+        let mut t = table_with_contexts();
+        t.assign_frames(50, 1, Owner::Cgroup(10));
+        assert_eq!(t.classify(frame_to_va(50), 1), DsvClass::Owned);
+        t.release_frames(50, 1);
+        assert_eq!(t.classify(frame_to_va(50), 1), DsvClass::Unknown);
+    }
+
+    #[test]
+    fn va_range_bounds_are_respected() {
+        let mut t = table_with_contexts();
+        t.assign_va_range(0x1000_0000, 0x2000, Owner::Cgroup(10));
+        assert_eq!(t.classify(0x1000_0000, 1), DsvClass::Owned);
+        assert_eq!(t.classify(0x1000_1FFF, 1), DsvClass::Owned);
+        assert_eq!(t.classify(0x1000_2000, 1), DsvClass::Unknown);
+        assert_eq!(t.classify(0x0FFF_FFFF, 1), DsvClass::Unknown);
+    }
+
+    #[test]
+    fn frame_reassignment_changes_owner() {
+        // Domain reassignment: a slab page drains, returns to the buddy,
+        // and is re-allocated to a different cgroup.
+        let mut t = table_with_contexts();
+        t.assign_frames(7, 1, Owner::Cgroup(10));
+        t.release_frames(7, 1);
+        t.assign_frames(7, 1, Owner::Cgroup(20));
+        assert_eq!(t.classify(frame_to_va(7), 1), DsvClass::Foreign);
+        assert_eq!(t.classify(frame_to_va(7), 2), DsvClass::Owned);
+    }
+
+    #[test]
+    fn unknown_owner_is_blocked_even_when_recorded() {
+        let mut t = table_with_contexts();
+        t.assign_va_range(0x5000_0000, 4096, Owner::Unknown);
+        assert_eq!(t.classify(0x5000_0000, 1), DsvClass::Unknown);
+    }
+
+    #[test]
+    fn unregistered_context_owns_nothing() {
+        let mut t = DsvTable::new();
+        t.assign_frames(3, 1, Owner::Cgroup(10));
+        assert_eq!(t.classify(frame_to_va(3), 99), DsvClass::Foreign);
+    }
+}

@@ -1,0 +1,177 @@
+//! Model-based testing of the DSVMT three-level tree (§6.2).
+//!
+//! The tree's value is its granule management: `set_range` must pick the
+//! coarsest granules it can (1 GiB / 2 MiB interior entries), push split
+//! regions down to 4 KiB leaves, and prune leaves back into huge entries
+//! when a region becomes uniform again. All of that is invisible to a
+//! correct walk — so we drive random operation sequences against a flat
+//! page-granular oracle and require the walk to agree everywhere, while
+//! separately asserting the compactness the granule logic exists for.
+
+use perspective::dsvmt::{DsvmtTree, WalkLevel};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const PAGE: u64 = 1 << 12;
+
+/// One random mutation of the view.
+#[derive(Debug, Clone)]
+struct RangeOp {
+    va: u64,
+    bytes: u64,
+    in_view: bool,
+}
+
+/// Ranges across a handful of 1 GiB regions, with sizes spanning all
+/// three granule classes so every code path (leaf writes, 2 MiB uniform
+/// entries, 1 GiB uniform entries, splits of each) is exercised.
+fn range_op() -> impl Strategy<Value = RangeOp> {
+    (
+        0u64..3,       // which 1 GiB region
+        0u64..262_144, // page offset inside it
+        prop_oneof![
+            1u64..16,            // a few pages
+            509u64..515,         // straddles a 2 MiB boundary
+            512u64..1536,        // one-to-three 2 MiB chunks
+            262_143u64..262_146, // ~a full 1 GiB region
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(gig, page, pages, in_view)| RangeOp {
+            va: (gig << 30) + page * PAGE,
+            bytes: pages * PAGE,
+            in_view,
+        })
+}
+
+/// Flat oracle: last-writer-wins per 4 KiB page, default out-of-view.
+fn apply_oracle(oracle: &mut HashMap<u64, bool>, op: &RangeOp) {
+    let first = op.va >> 12;
+    let last = (op.va + op.bytes - 1) >> 12;
+    for p in first..=last {
+        if op.in_view {
+            oracle.insert(p, true);
+        } else {
+            oracle.remove(&p);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tree answers exactly like the flat per-page oracle after any
+    /// sequence of overlapping set/clear ranges.
+    #[test]
+    fn walk_agrees_with_flat_oracle(ops in prop::collection::vec(range_op(), 1..24)) {
+        let mut tree = DsvmtTree::new();
+        let mut oracle: HashMap<u64, bool> = HashMap::new();
+        for op in &ops {
+            tree.set_range(op.va, op.bytes, op.in_view);
+            apply_oracle(&mut oracle, op);
+        }
+        // Probe the boundary pages of every op (first/last page, one
+        // page either side) plus huge-granule boundaries they touch.
+        let mut probes = Vec::new();
+        for op in &ops {
+            let first = op.va & !(PAGE - 1);
+            let end = (op.va + op.bytes + PAGE - 1) & !(PAGE - 1);
+            for va in [
+                first.wrapping_sub(PAGE),
+                first,
+                end - PAGE,
+                end,
+                first & !((1 << 21) - 1),
+                first & !((1 << 30) - 1),
+            ] {
+                probes.push(va);
+            }
+        }
+        for va in probes {
+            let expect = oracle.get(&(va >> 12)).copied().unwrap_or(false);
+            let got = tree.walk(va);
+            prop_assert_eq!(
+                got.in_view, expect,
+                "walk({:#x}) disagreed with oracle (level {:?})", va, got.level
+            );
+        }
+    }
+
+    /// Setting one uniform value over a whole aligned 1 GiB region must
+    /// collapse it to a single L1 entry regardless of the mess that was
+    /// there before (prune path).
+    #[test]
+    fn uniform_gig_collapses_to_one_entry(
+        ops in prop::collection::vec(range_op(), 0..12),
+        in_view in any::<bool>(),
+    ) {
+        let mut tree = DsvmtTree::new();
+        for op in &ops {
+            tree.set_range(op.va, op.bytes, op.in_view);
+        }
+        // Overwrite region 1 uniformly. Every walk inside it must now
+        // terminate at the 1 GiB level — if any finer entry survived,
+        // the L1 node would still be Split and the walk would descend.
+        tree.set_range(1 << 30, 1 << 30, in_view);
+        for off in [0u64, 0x1234_5000, 0x1FFF_F000, 0x2000_0000, 0x3FFF_F000] {
+            let r = tree.walk((1 << 30) + off);
+            prop_assert_eq!(r.in_view, in_view);
+            prop_assert_eq!(r.level, WalkLevel::Huge1G, "uniform region answers at L1");
+        }
+    }
+
+    /// Walk levels are consistent with spans: an answer at level L means
+    /// every page in that L-sized aligned block answers identically.
+    #[test]
+    fn huge_answers_are_uniform_over_their_span(ops in prop::collection::vec(range_op(), 1..16)) {
+        let mut tree = DsvmtTree::new();
+        let mut oracle: HashMap<u64, bool> = HashMap::new();
+        for op in &ops {
+            tree.set_range(op.va, op.bytes, op.in_view);
+            apply_oracle(&mut oracle, op);
+        }
+        for op in ops.iter().take(4) {
+            let r = tree.walk(op.va);
+            let span = r.level.span_bytes();
+            let block = op.va & !(span - 1);
+            // Sample pages across the span; the oracle must be uniform.
+            let pages = span / PAGE;
+            for i in [0u64, 1, pages / 2, pages - 1] {
+                if i >= pages {
+                    continue; // Page4K span holds a single page
+                }
+                let page = (block >> 12) + i;
+                let expect = oracle.get(&page).copied().unwrap_or(false);
+                prop_assert_eq!(
+                    expect, r.in_view,
+                    "level {:?} answer at {:#x} not uniform at page {:#x}",
+                    r.level, op.va, page << 12
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic compactness check: heavy churn that ends uniform must
+/// not leave the tree bloated (prune works).
+#[test]
+fn churn_then_uniform_prunes_leaves() {
+    let mut tree = DsvmtTree::new();
+    // Fragment region 0 badly: alternate single pages.
+    for p in (0..4096u64).step_by(2) {
+        tree.set_range(p * PAGE, PAGE, true);
+    }
+    let (_, _, l3_frag) = tree.footprint();
+    assert!(l3_frag >= 2048, "fragmentation creates leaves");
+    // Now the whole region becomes uniform.
+    tree.set_range(0, 1 << 30, true);
+    let (l1, l2, l3) = tree.footprint();
+    assert!(
+        l2 == 0 && l3 == 0,
+        "uniform overwrite prunes all finer entries (l2={l2} l3={l3})"
+    );
+    assert!(l1 >= 1);
+    let r = tree.walk(0x3000);
+    assert_eq!(r.level, WalkLevel::Huge1G);
+    assert!(r.in_view);
+}

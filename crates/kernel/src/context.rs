@@ -1,0 +1,66 @@
+//! Execution contexts: processes, cgroups, and their kernel-side state.
+//!
+//! Perspective associates speculation views with execution contexts. The
+//! implementation tracks resources per *cgroup* (§6.1); for simplicity each
+//! process of the mini-OS lives in exactly one cgroup, and the ASID exposed
+//! to the hardware equals the PID.
+
+use persp_uarch::Asid;
+
+/// Process identifier.
+pub type Pid = u32;
+/// Control-group identifier (the DSV ownership domain).
+pub type CgroupId = u32;
+
+/// Number of pointer fields a task struct exposes to generated kernel code.
+pub const TASK_FIELDS: usize = 8;
+/// Size of the simulated task struct in bytes.
+pub const TASK_STRUCT_BYTES: u64 = 512;
+
+/// Kernel-side state of one process.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Owning cgroup (DSV domain).
+    pub cgroup: CgroupId,
+    /// Hardware context tag. Equal to `pid` truncated to 16 bits.
+    pub asid: Asid,
+    /// Direct-map address of the task struct (ctx-owned slab object).
+    pub task_struct_va: u64,
+    /// Base of this process's user text window.
+    pub user_text: u64,
+    /// Base of this process's user data window.
+    pub user_data: u64,
+    /// Next unused offset in the user data window (bump allocation for
+    /// mmap/brk results).
+    pub user_data_top: u64,
+    /// Direct-map addresses of ctx-owned kernel objects reachable through
+    /// the task struct fields (what generated bodies dereference).
+    pub ctx_objects: Vec<u64>,
+    /// Slab objects backing open file descriptors / sockets (freed by
+    /// `close`).
+    pub open_objects: Vec<u64>,
+    /// Outstanding mmap'd regions `(va, backing frames)` for munmap.
+    pub mmaps: Vec<(u64, Vec<u64>)>,
+    /// Page-cache frame backing this process's file reads/writes.
+    pub page_cache_va: Option<u64>,
+}
+
+impl Process {
+    /// The ASID of a PID.
+    pub fn asid_of(pid: Pid) -> Asid {
+        pid as Asid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asid_is_pid_truncation() {
+        assert_eq!(Process::asid_of(5), 5);
+        assert_eq!(Process::asid_of(0x1_0002), 2);
+    }
+}

@@ -1,0 +1,467 @@
+//! A minimal eBPF-style extension subsystem — the Table 4.1 rows 3–4
+//! vulnerability class.
+//!
+//! Userspace can load small restricted programs into the kernel; a
+//! verifier proves them *architecturally* memory-safe before they are
+//! installed behind the `ioctl` path's extension hook. The verifier
+//! reasons about committed execution only — bounds checks are trusted to
+//! be respected — which is precisely the blind spot the eBPF CVEs
+//! exploit: a mistrained branch lets the *transient* execution of a
+//! verified program sail past its own bounds check (speculative
+//! out-of-bounds, CVE-2019-7308 and friends; speculative type confusion,
+//! CVE-2021-33624).
+//!
+//! The paper's point (§4.2): such vulnerabilities let an attacker
+//! *inject* transient execution gadgets into the kernel, and Perspective
+//! neutralizes them wholesale — the injected gadget's speculative access
+//! to foreign data violates the attacker's DSV no matter how it got into
+//! the kernel.
+
+use crate::kernel::Kernel;
+use persp_uarch::isa::{AluOp, Cond, Inst, INST_BYTES};
+use persp_uarch::machine::Machine;
+use std::fmt;
+
+/// Register conventions for extension programs: `r10`/`r11` are the ioctl
+/// arguments, `r13` holds the map base (set up by the kernel-side hook),
+/// and `r18..=r28` are scratch.
+pub const EBPF_MAP_REG: u8 = 13;
+
+/// Size of the per-program data map in bytes.
+pub const EBPF_MAP_BYTES: u64 = 256;
+
+/// Maximum program length (instructions, excluding the final `Ret`).
+pub const EBPF_MAX_INSTS: usize = 64;
+
+/// Why the verifier rejected a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifierError {
+    /// Program too long.
+    TooLong,
+    /// An instruction type is not allowed in extension programs.
+    ForbiddenInstruction {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// A memory access was not provably inside the map.
+    UnprovenAccess {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// A branch target leaves the program (only forward skips within the
+    /// program are allowed).
+    BadBranchTarget {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// The program must end with `Ret`.
+    MissingRet,
+}
+
+impl fmt::Display for VerifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifierError::TooLong => write!(f, "program exceeds {EBPF_MAX_INSTS} instructions"),
+            VerifierError::ForbiddenInstruction { index } => {
+                write!(f, "forbidden instruction at {index}")
+            }
+            VerifierError::UnprovenAccess { index } => {
+                write!(f, "memory access at {index} not provably within the map")
+            }
+            VerifierError::BadBranchTarget { index } => {
+                write!(f, "branch at {index} leaves the program")
+            }
+            VerifierError::MissingRet => write!(f, "program must end with ret"),
+        }
+    }
+}
+
+impl std::error::Error for VerifierError {}
+
+/// The *architectural* verifier: forward abstract interpretation tracking,
+/// per register, whether its value is a known-bounded map offset.
+///
+/// A load/store through `r13 + r` is accepted if `r` is (a) a constant
+/// within the map, or (b) **dominated by a bounds check** `branch Geu r,
+/// bound -> skip-past-the-access` — architecturally sound, because a
+/// committed out-of-bounds value takes the branch. Transiently it is not,
+/// and the verifier cannot know that: the modelled CVE.
+pub fn verify(prog: &[Inst]) -> Result<(), VerifierError> {
+    if prog.len() > EBPF_MAX_INSTS + 1 {
+        return Err(VerifierError::TooLong);
+    }
+    match prog.last() {
+        Some(Inst::Ret) => {}
+        _ => return Err(VerifierError::MissingRet),
+    }
+
+    // Abstract state:
+    // * `upper[r]`    — conservative upper bound on r's value;
+    // * `guard_end[r]` — r is a *bounds-checked index* (< the map size)
+    //   for instructions before this index (established by a dominating
+    //   `if (r >= bound) skip` branch);
+    // * `safe_ptr_end[r]` — r is `map_base + checked_index`, valid as a
+    //   pointer into the map before this index.
+    let mut upper: [Option<u64>; 32] = [None; 32];
+    upper[0] = Some(0);
+    let mut guard_end: [Option<usize>; 32] = [None; 32];
+    let mut safe_ptr_end: [Option<usize>; 32] = [None; 32];
+    // For safe pointers: bytes of provable headroom above the pointer's
+    // maximum value within the map.
+    let mut safe_room: [u64; 32] = [0; 32];
+    // Registers holding the kernel-maintained bound from map slot 0
+    // (calling-convention contract: the loader keeps `map[0] <=` the map
+    // size, so a comparison against it is a valid bounds check).
+    let mut is_map_bound: [bool; 32] = [false; 32];
+
+    for (i, inst) in prog.iter().enumerate() {
+        match *inst {
+            Inst::MovImm { dst, imm } => {
+                upper[dst as usize] = Some(imm);
+                guard_end[dst as usize] = None;
+                safe_ptr_end[dst as usize] = None;
+                is_map_bound[dst as usize] = false;
+            }
+            Inst::Alu { op, dst, a, b } => {
+                // `map + index` produces a safe map pointer when the
+                // index is either branch-guarded (architecturally only!)
+                // or *data-flow bounded* (e.g. masked — sound even
+                // transiently, since ALU facts hold on wrong paths too).
+                // (scope, headroom): guard-derived indices may reach the
+                // whole map (no headroom); data-flow-bounded indices
+                // leave `MAP - upper` bytes of room above the pointer.
+                let bounded = |r: u8| -> Option<(usize, u64)> {
+                    if let Some(end) = guard_end[r as usize] {
+                        return Some((end, 0));
+                    }
+                    upper[r as usize]
+                        .filter(|&u| u + 8 <= EBPF_MAP_BYTES)
+                        .map(|u| (usize::MAX, EBPF_MAP_BYTES - u))
+                };
+                let safe = match op {
+                    AluOp::Add if a == EBPF_MAP_REG => bounded(b),
+                    AluOp::Add if b == EBPF_MAP_REG => bounded(a),
+                    _ => None,
+                };
+                safe_ptr_end[dst as usize] = safe.map(|(end, _)| end);
+                safe_room[dst as usize] = safe.map_or(0, |(_, room)| room);
+                upper[dst as usize] = match (op, upper[a as usize], upper[b as usize]) {
+                    (AluOp::Add, Some(x), Some(y)) => x.checked_add(y),
+                    (AluOp::And, Some(x), Some(y)) => Some(x.min(y)),
+                    (AluOp::And, Some(x), None) | (AluOp::And, None, Some(x)) => Some(x),
+                    _ => None,
+                };
+                guard_end[dst as usize] = None;
+                is_map_bound[dst as usize] = false;
+            }
+            Inst::AluImm { op, dst, a, imm } => {
+                upper[dst as usize] = match (op, upper[a as usize]) {
+                    (AluOp::Add, Some(x)) => x.checked_add(imm),
+                    (AluOp::And, _) => Some(imm),
+                    (AluOp::Shl, Some(x)) => x.checked_shl((imm & 63) as u32),
+                    (AluOp::Shr, Some(x)) => Some(x >> (imm & 63)),
+                    // a <= x implies a^imm <= a|imm <= x|imm.
+                    (AluOp::Xor, Some(x)) => Some(x | imm),
+                    _ => None,
+                };
+                guard_end[dst as usize] = None;
+                safe_ptr_end[dst as usize] = None;
+                is_map_bound[dst as usize] = false;
+            }
+            Inst::Load {
+                base,
+                offset,
+                width,
+                dst,
+            } => {
+                check_access(i, base, offset, width.bytes(), &safe_ptr_end, &safe_room)?;
+                upper[dst as usize] = None;
+                guard_end[dst as usize] = None;
+                safe_ptr_end[dst as usize] = None;
+                is_map_bound[dst as usize] = base == EBPF_MAP_REG && offset == 0;
+            }
+            Inst::Store {
+                base,
+                offset,
+                width,
+                ..
+            } => {
+                check_access(i, base, offset, width.bytes(), &safe_ptr_end, &safe_room)?;
+            }
+            Inst::Branch { cond, a, b, target } => {
+                // Only forward skips within the program.
+                let this_pc = i as u64 * INST_BYTES;
+                if target <= this_pc || target > prog.len() as u64 * INST_BYTES {
+                    return Err(VerifierError::BadBranchTarget { index: i });
+                }
+                let skip_to = (target / INST_BYTES) as usize;
+                // `if (a >= bound) goto skip` architecturally guarantees
+                // a < bound on the fall-through path up to `skip_to` —
+                // and only architecturally, which is the modelled CVE.
+                if cond == Cond::Geu {
+                    let const_bound =
+                        upper[b as usize].is_some_and(|bound| bound <= EBPF_MAP_BYTES);
+                    if const_bound || is_map_bound[b as usize] {
+                        if let Some(bound) = upper[b as usize] {
+                            upper[a as usize] = Some(bound.saturating_sub(1));
+                        }
+                        guard_end[a as usize] = Some(skip_to);
+                    }
+                }
+            }
+            Inst::Nop | Inst::Ret => {}
+            _ => return Err(VerifierError::ForbiddenInstruction { index: i }),
+        }
+        // Expire guard scopes we have left.
+        for g in guard_end.iter_mut().chain(safe_ptr_end.iter_mut()) {
+            if let Some(end) = *g {
+                if i + 1 >= end {
+                    *g = None;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_access(
+    index: usize,
+    base: u8,
+    offset: i64,
+    bytes: u64,
+    safe_ptr_end: &[Option<usize>; 32],
+    safe_room: &[u64; 32],
+) -> Result<(), VerifierError> {
+    if base == EBPF_MAP_REG {
+        if offset >= 0 && offset as u64 + bytes <= EBPF_MAP_BYTES {
+            return Ok(());
+        }
+        return Err(VerifierError::UnprovenAccess { index });
+    }
+    // Guard-derived pointers get one access-width of contractual slack
+    // (the kernel sizes maps so `map[bound-1]` is loadable); data-flow
+    // bounded pointers carry their proven headroom.
+    let room = safe_room[base as usize].max(8);
+    if offset >= 0
+        && offset as u64 + bytes <= room
+        && safe_ptr_end[base as usize].is_some_and(|end| index < end)
+    {
+        return Ok(());
+    }
+    Err(VerifierError::UnprovenAccess { index })
+}
+
+/// A loaded program's kernel-side metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadedEbpf {
+    /// Entry address of the installed program text.
+    pub entry_va: u64,
+    /// Direct-map address of the program's data map.
+    pub map_va: u64,
+}
+
+impl Kernel {
+    /// Verify and install an extension program for the `ioctl` hook of
+    /// the current machine image. Returns the installed entry and map.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's rejection, leaving the kernel unchanged.
+    pub fn load_ebpf(
+        &mut self,
+        prog: &[Inst],
+        cgroup: crate::context::CgroupId,
+        machine: &mut Machine,
+    ) -> Result<LoadedEbpf, VerifierError> {
+        verify(prog)?;
+
+        // Allocate the map (ctx-owned: the loader's cgroup).
+        let sink = self.sink();
+        let mut s = sink.borrow_mut();
+        let map_va = self
+            .slab
+            .kmalloc(EBPF_MAP_BYTES as usize, cgroup, &mut self.buddy, &mut *s)
+            .expect("out of kernel memory for eBPF map");
+        drop(s);
+
+        // Install the text in the extension region and point the ioctl
+        // ops-table slot at it.
+        let entry_va = self.next_ebpf_va;
+        let mut va = entry_va;
+        let mut text = Vec::with_capacity(prog.len());
+        for inst in prog {
+            // Rebase branch targets (program-relative) to absolute.
+            let abs = match *inst {
+                Inst::Branch { cond, a, b, target } => Inst::Branch {
+                    cond,
+                    a,
+                    b,
+                    target: entry_va + target,
+                },
+                other => other,
+            };
+            text.push((va, abs));
+            va += INST_BYTES;
+        }
+        self.next_ebpf_va = (va + 63) & !63;
+        machine.load_text(text);
+        machine.mem.write_u64(crate::layout::EBPF_MAP_PTR, map_va);
+        machine.mem.write_u64(
+            crate::layout::OPS_TABLES + u64::from(self.graph.ebpf_slot) * 8,
+            entry_va,
+        );
+        Ok(LoadedEbpf { entry_va, map_va })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persp_uarch::isa::Width;
+
+    fn ld(dst: u8, base: u8, offset: i64) -> Inst {
+        Inst::Load {
+            dst,
+            base,
+            offset,
+            width: Width::B,
+        }
+    }
+
+    #[test]
+    fn constant_offset_access_is_accepted() {
+        let prog = vec![ld(20, EBPF_MAP_REG, 8), Inst::Ret];
+        assert_eq!(verify(&prog), Ok(()));
+    }
+
+    #[test]
+    fn out_of_map_constant_offset_is_rejected() {
+        let prog = vec![ld(20, EBPF_MAP_REG, EBPF_MAP_BYTES as i64), Inst::Ret];
+        assert!(matches!(
+            verify(&prog),
+            Err(VerifierError::UnprovenAccess { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn unguarded_dynamic_index_is_rejected() {
+        // addr = map + r10 (attacker-controlled, unguarded).
+        let prog = vec![
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: 20,
+                a: EBPF_MAP_REG,
+                b: 10,
+            },
+            ld(21, 20, 0),
+            Inst::Ret,
+        ];
+        assert!(matches!(
+            verify(&prog),
+            Err(VerifierError::UnprovenAccess { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn guarded_dynamic_index_is_accepted_architecturally() {
+        // if (r10 >= 64) goto end; addr = map + r10; load [addr]
+        // — architecturally safe; transiently the whole point of the CVE.
+        let prog = vec![
+            Inst::MovImm { dst: 19, imm: 64 },
+            Inst::Branch {
+                cond: Cond::Geu,
+                a: 10,
+                b: 19,
+                target: 5 * INST_BYTES,
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: 20,
+                a: EBPF_MAP_REG,
+                b: 10,
+            },
+            ld(21, 20, 0),
+            Inst::Nop,
+            Inst::Ret,
+        ];
+        assert_eq!(verify(&prog), Ok(()));
+    }
+
+    #[test]
+    fn guard_expires_outside_its_scope() {
+        // The access sits past the branch's skip target: unprotected.
+        let prog = vec![
+            Inst::MovImm { dst: 19, imm: 64 },
+            Inst::Branch {
+                cond: Cond::Geu,
+                a: 10,
+                b: 19,
+                target: 3 * INST_BYTES,
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: 20,
+                a: EBPF_MAP_REG,
+                b: 10,
+            },
+            ld(21, 20, 0), // index 3 == skip target: guard no longer holds
+            Inst::Ret,
+        ];
+        assert!(matches!(
+            verify(&prog),
+            Err(VerifierError::UnprovenAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn forbidden_instructions_are_rejected() {
+        for bad in [
+            Inst::Syscall,
+            Inst::KHook { id: 1 },
+            Inst::Call { target: 0 },
+            Inst::Halt,
+        ] {
+            let prog = vec![bad, Inst::Ret];
+            assert!(
+                matches!(
+                    verify(&prog),
+                    Err(VerifierError::ForbiddenInstruction { index: 0 })
+                ),
+                "{bad} must be forbidden"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_branches_are_rejected() {
+        let prog = vec![
+            Inst::Nop,
+            Inst::Branch {
+                cond: Cond::Eq,
+                a: 0,
+                b: 0,
+                target: 0,
+            },
+            Inst::Ret,
+        ];
+        assert!(matches!(
+            verify(&prog),
+            Err(VerifierError::BadBranchTarget { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn missing_ret_is_rejected() {
+        assert!(matches!(
+            verify(&[Inst::Nop]),
+            Err(VerifierError::MissingRet)
+        ));
+    }
+
+    #[test]
+    fn too_long_is_rejected() {
+        let mut prog = vec![Inst::Nop; EBPF_MAX_INSTS + 1];
+        prog.push(Inst::Ret);
+        assert!(matches!(verify(&prog), Err(VerifierError::TooLong)));
+    }
+}

@@ -1,0 +1,7 @@
+//! Kernel memory management: the buddy allocator and the slab allocators.
+
+pub mod buddy;
+pub mod slab;
+
+pub use buddy::{BuddyAllocator, BuddyStats, MAX_ORDER};
+pub use slab::{size_class, SlabAllocator, SlabStats, SIZE_CLASSES};

@@ -1,0 +1,157 @@
+//! Allocation-event observer interface.
+//!
+//! The paper's DSVs are *defined through allocations* (§5.2): every page or
+//! slab allocation associates memory with the execution context it was
+//! allocated on behalf of. The kernel's allocators emit ownership events
+//! through this trait; Perspective's DSV manager (in the `perspective`
+//! crate) implements it, and the unprotected baseline plugs in
+//! [`NullSink`].
+
+use crate::context::CgroupId;
+
+/// Who owns a piece of kernel memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// Owned by one execution context (cgroup). Only that context's DSV
+    /// contains it.
+    Cgroup(CgroupId),
+    /// Shared kernel data (per-cpu variables, dispatch tables): part of
+    /// every DSV.
+    Shared,
+    /// Unknown provenance (§6.1): part of *no* DSV; Perspective blocks
+    /// speculation on it.
+    Unknown,
+}
+
+/// Receiver of allocator ownership events.
+pub trait AllocSink {
+    /// A new execution context exists: `asid` belongs to `cgroup`.
+    /// Default: ignored.
+    fn register_context(&mut self, _asid: u16, _cgroup: CgroupId) {}
+
+    /// `count` physical frames starting at `first_frame` now belong to
+    /// `owner`.
+    fn assign_frames(&mut self, first_frame: u64, count: u64, owner: Owner);
+
+    /// The frames were freed; ownership is dissolved.
+    fn release_frames(&mut self, first_frame: u64, count: u64);
+
+    /// A non-direct-map virtual range (user pages, boot-time regions) now
+    /// belongs to `owner`.
+    fn assign_va_range(&mut self, va: u64, bytes: u64, owner: Owner);
+
+    /// The virtual range was released.
+    fn release_va_range(&mut self, va: u64, bytes: u64);
+}
+
+/// Sink that discards all events (the unprotected baseline kernel).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl AllocSink for NullSink {
+    fn assign_frames(&mut self, _first_frame: u64, _count: u64, _owner: Owner) {}
+    fn release_frames(&mut self, _first_frame: u64, _count: u64) {}
+    fn assign_va_range(&mut self, _va: u64, _bytes: u64, _owner: Owner) {}
+    fn release_va_range(&mut self, _va: u64, _bytes: u64) {}
+}
+
+/// Fan-out: forward every event to two sinks (e.g. the DSV table and a
+/// hardware-metadata mirror).
+#[derive(Debug)]
+pub struct TeeSink<A, B> {
+    /// First receiver.
+    pub a: A,
+    /// Second receiver.
+    pub b: B,
+}
+
+impl<A, B> TeeSink<A, B> {
+    /// Combine two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl<A: AllocSink, B: AllocSink> AllocSink for TeeSink<A, B> {
+    fn register_context(&mut self, asid: u16, cgroup: CgroupId) {
+        self.a.register_context(asid, cgroup);
+        self.b.register_context(asid, cgroup);
+    }
+    fn assign_frames(&mut self, first_frame: u64, count: u64, owner: Owner) {
+        self.a.assign_frames(first_frame, count, owner);
+        self.b.assign_frames(first_frame, count, owner);
+    }
+    fn release_frames(&mut self, first_frame: u64, count: u64) {
+        self.a.release_frames(first_frame, count);
+        self.b.release_frames(first_frame, count);
+    }
+    fn assign_va_range(&mut self, va: u64, bytes: u64, owner: Owner) {
+        self.a.assign_va_range(va, bytes, owner);
+        self.b.assign_va_range(va, bytes, owner);
+    }
+    fn release_va_range(&mut self, va: u64, bytes: u64) {
+        self.a.release_va_range(va, bytes);
+        self.b.release_va_range(va, bytes);
+    }
+}
+
+/// Sink that records events for inspection (used by tests).
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    /// `(first_frame, count, owner)` assignment events.
+    pub frame_assigns: Vec<(u64, u64, Owner)>,
+    /// `(first_frame, count)` release events.
+    pub frame_releases: Vec<(u64, u64)>,
+    /// `(va, bytes, owner)` assignment events.
+    pub va_assigns: Vec<(u64, u64, Owner)>,
+    /// `(va, bytes)` release events.
+    pub va_releases: Vec<(u64, u64)>,
+}
+
+impl AllocSink for RecordingSink {
+    fn assign_frames(&mut self, first_frame: u64, count: u64, owner: Owner) {
+        self.frame_assigns.push((first_frame, count, owner));
+    }
+    fn release_frames(&mut self, first_frame: u64, count: u64) {
+        self.frame_releases.push((first_frame, count));
+    }
+    fn assign_va_range(&mut self, va: u64, bytes: u64, owner: Owner) {
+        self.va_assigns.push((va, bytes, owner));
+    }
+    fn release_va_range(&mut self, va: u64, bytes: u64) {
+        self.va_releases.push((va, bytes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tee_forwards_to_both() {
+        let mut tee = TeeSink::new(RecordingSink::default(), RecordingSink::default());
+        tee.register_context(1, 10);
+        tee.assign_frames(3, 2, Owner::Cgroup(10));
+        tee.release_frames(3, 2);
+        tee.assign_va_range(0x1000, 4096, Owner::Shared);
+        tee.release_va_range(0x1000, 4096);
+        assert_eq!(tee.a.frame_assigns, tee.b.frame_assigns);
+        assert_eq!(tee.a.frame_releases, tee.b.frame_releases);
+        assert_eq!(tee.a.va_assigns, tee.b.va_assigns);
+        assert_eq!(tee.a.va_releases, tee.b.va_releases);
+        assert_eq!(tee.a.frame_assigns.len(), 1);
+    }
+
+    #[test]
+    fn recording_sink_captures_events() {
+        let mut s = RecordingSink::default();
+        s.assign_frames(4, 2, Owner::Cgroup(7));
+        s.release_frames(4, 2);
+        s.assign_va_range(0x1000, 4096, Owner::Shared);
+        s.release_va_range(0x1000, 4096);
+        assert_eq!(s.frame_assigns, vec![(4, 2, Owner::Cgroup(7))]);
+        assert_eq!(s.frame_releases, vec![(4, 2)]);
+        assert_eq!(s.va_assigns, vec![(0x1000, 4096, Owner::Shared)]);
+        assert_eq!(s.va_releases, vec![(0x1000, 4096)]);
+    }
+}

@@ -1,0 +1,124 @@
+//! The syscall table of the mini-OS.
+//!
+//! Forty syscalls cover the workloads the paper evaluates: the LEBench
+//! microbenchmark suite and the four datacenter applications. The numbers
+//! are stable across runs (they index the in-memory dispatch table).
+
+use std::fmt;
+
+macro_rules! syscalls {
+    ($(($variant:ident, $num:expr, $name:expr),)*) => {
+        /// A system call number.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(u16)]
+        pub enum Sysno {
+            $(
+                #[doc = $name]
+                $variant = $num,
+            )*
+        }
+
+        impl Sysno {
+            /// All syscalls, in number order.
+            pub const ALL: &'static [Sysno] = &[$(Sysno::$variant,)*];
+
+            /// The syscall's Linux-style name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Sysno::$variant => $name,)*
+                }
+            }
+
+            /// Parse a raw number.
+            pub fn from_u16(n: u16) -> Option<Sysno> {
+                match n {
+                    $($num => Some(Sysno::$variant),)*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+syscalls! {
+    (Getpid, 0, "getpid"),
+    (Read, 1, "read"),
+    (Write, 2, "write"),
+    (Open, 3, "open"),
+    (Close, 4, "close"),
+    (Stat, 5, "stat"),
+    (Fstat, 6, "fstat"),
+    (Lseek, 7, "lseek"),
+    (Mmap, 8, "mmap"),
+    (Munmap, 9, "munmap"),
+    (Brk, 10, "brk"),
+    (PageFault, 11, "page_fault"),
+    (Fork, 12, "fork"),
+    (Clone, 13, "clone"),
+    (Execve, 14, "execve"),
+    (Exit, 15, "exit"),
+    (Poll, 16, "poll"),
+    (Select, 17, "select"),
+    (EpollCreate, 18, "epoll_create"),
+    (EpollCtl, 19, "epoll_ctl"),
+    (EpollWait, 20, "epoll_wait"),
+    (Socket, 21, "socket"),
+    (Bind, 22, "bind"),
+    (Listen, 23, "listen"),
+    (Accept, 24, "accept"),
+    (Connect, 25, "connect"),
+    (Send, 26, "send"),
+    (Recv, 27, "recv"),
+    (Sendto, 28, "sendto"),
+    (Recvfrom, 29, "recvfrom"),
+    (Pipe, 30, "pipe"),
+    (Dup, 31, "dup"),
+    (Ioctl, 32, "ioctl"),
+    (Futex, 33, "futex"),
+    (Nanosleep, 34, "nanosleep"),
+    (ClockGettime, 35, "clock_gettime"),
+    (Getuid, 36, "getuid"),
+    (SchedYield, 37, "sched_yield"),
+    (Madvise, 38, "madvise"),
+    (Mprotect, 39, "mprotect"),
+}
+
+impl fmt::Display for Sysno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Number of syscalls in the table.
+pub const NUM_SYSCALLS: usize = Sysno::ALL.len();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for &s in Sysno::ALL {
+            assert_eq!(Sysno::from_u16(s as u16), Some(s));
+        }
+        assert_eq!(Sysno::from_u16(9999), None);
+    }
+
+    #[test]
+    fn numbers_are_dense_and_ordered() {
+        for (i, &s) in Sysno::ALL.iter().enumerate() {
+            assert_eq!(s as u16 as usize, i, "{s} out of order");
+        }
+        assert_eq!(NUM_SYSCALLS, 40);
+    }
+
+    #[test]
+    fn names_are_nonempty_and_unique() {
+        let mut names: Vec<&str> = Sysno::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end extension programs: verified code loaded behind the ioctl
+//! hook and executed architecturally through the pipeline.
+
+use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::ebpf::{verify, VerifierError, EBPF_MAP_REG};
+use persp_kernel::kernel::{Kernel, SharedKernel};
+use persp_kernel::layout;
+use persp_kernel::syscalls::Sysno;
+use persp_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use persp_uarch::config::CoreConfig;
+use persp_uarch::isa::{AluOp, Assembler, Inst, Width, REG_ARG0, REG_SYSNO};
+use persp_uarch::machine::Machine;
+use persp_uarch::pipeline::Core;
+use persp_uarch::policy::UnsafePolicy;
+
+fn setup() -> (Core, SharedKernel, u16) {
+    let kernel = Kernel::build_unprotected(KernelConfig::test_small());
+    let shared = SharedKernel::new(kernel);
+    let mut machine = Machine::new();
+    shared.borrow().install(&mut machine);
+    let pid = shared.borrow_mut().create_process(1, &mut machine);
+    shared.borrow().set_current(pid as u16, &mut machine);
+    let core = Core::new(
+        CoreConfig::paper_default(),
+        machine,
+        MemoryHierarchy::new(HierarchyConfig::paper_default()),
+        Box::new(UnsafePolicy::new()),
+        Box::new(shared.clone()),
+    );
+    (core, shared, pid as u16)
+}
+
+fn ioctl_once(base: u64, arg0: u64) -> Vec<(u64, Inst)> {
+    let mut asm = Assembler::new(base);
+    asm.movi(REG_ARG0, arg0);
+    asm.movi(REG_SYSNO, Sysno::Ioctl as u16 as u64);
+    asm.push(Inst::Syscall);
+    asm.push(Inst::Halt);
+    asm.finish()
+}
+
+/// A verified counter program: `map[8] += 1`.
+fn counter_program() -> Vec<Inst> {
+    vec![
+        Inst::Load { dst: 20, base: EBPF_MAP_REG, offset: 8, width: Width::Q },
+        Inst::AluImm { op: AluOp::Add, dst: 20, a: 20, imm: 1 },
+        Inst::Store { src: 20, base: EBPF_MAP_REG, offset: 8, width: Width::Q },
+        Inst::Ret,
+    ]
+}
+
+#[test]
+fn loaded_program_runs_on_every_ioctl() {
+    let (mut core, shared, asid) = setup();
+    let loaded = shared
+        .borrow_mut()
+        .load_ebpf(&counter_program(), 1, &mut core.machine)
+        .expect("counter verifies");
+
+    let base = layout::user_text_base(u32::from(asid));
+    core.machine.load_text(ioctl_once(base, 0));
+    for _ in 0..5 {
+        shared.borrow().set_current(asid, &mut core.machine);
+        core.run(base, 2_000_000).expect("ioctl completes");
+    }
+    assert_eq!(
+        core.machine.mem.read_u64(loaded.map_va + 8),
+        5,
+        "the extension ran exactly once per ioctl"
+    );
+}
+
+#[test]
+fn reloading_replaces_the_hook_target() {
+    let (mut core, shared, asid) = setup();
+    let first = shared
+        .borrow_mut()
+        .load_ebpf(&counter_program(), 1, &mut core.machine)
+        .expect("verifies");
+    // Second program writes a constant instead.
+    let second_prog = vec![
+        Inst::MovImm { dst: 20, imm: 0xAA },
+        Inst::Store { src: 20, base: EBPF_MAP_REG, offset: 16, width: Width::Q },
+        Inst::Ret,
+    ];
+    let second = shared
+        .borrow_mut()
+        .load_ebpf(&second_prog, 1, &mut core.machine)
+        .expect("verifies");
+    assert_ne!(first.entry_va, second.entry_va, "programs get distinct text");
+    assert_ne!(first.map_va, second.map_va, "programs get distinct maps");
+
+    let base = layout::user_text_base(u32::from(asid));
+    core.machine.load_text(ioctl_once(base, 0));
+    shared.borrow().set_current(asid, &mut core.machine);
+    core.run(base, 2_000_000).expect("ioctl completes");
+    assert_eq!(core.machine.mem.read_u64(second.map_va + 16), 0xAA);
+    assert_eq!(
+        core.machine.mem.read_u64(first.map_va + 8),
+        0,
+        "the replaced program no longer runs"
+    );
+}
+
+#[test]
+fn rejected_programs_are_never_installed() {
+    let (mut core, shared, asid) = setup();
+    // Unguarded dynamic access: rejected.
+    let bad = vec![
+        Inst::Alu { op: AluOp::Add, dst: 20, a: EBPF_MAP_REG, b: 10 },
+        Inst::Load { dst: 21, base: 20, offset: 0, width: Width::B },
+        Inst::Ret,
+    ];
+    assert!(matches!(
+        verify(&bad),
+        Err(VerifierError::UnprovenAccess { .. })
+    ));
+    let err = shared.borrow_mut().load_ebpf(&bad, 1, &mut core.machine);
+    assert!(err.is_err());
+
+    // The ioctl path still runs (benign stub), with no extension effect.
+    let base = layout::user_text_base(u32::from(asid));
+    core.machine.load_text(ioctl_once(base, 0));
+    shared.borrow().set_current(asid, &mut core.machine);
+    core.run(base, 2_000_000).expect("ioctl completes with the stub");
+}
+
+#[test]
+fn map_is_owned_by_the_loader() {
+    use persp_kernel::sink::Owner;
+    let (mut core, shared, _asid) = setup();
+    let loaded = shared
+        .borrow_mut()
+        .load_ebpf(&counter_program(), 1, &mut core.machine)
+        .expect("verifies");
+    let kernel = shared.borrow();
+    let frame = layout::va_to_frame(loaded.map_va).expect("map lives in the direct map");
+    // The backing slab page belongs to the loader's cgroup — which is why
+    // DSVs see an injected gadget's out-of-map access as foreign.
+    assert_eq!(kernel.buddy.owner_of(frame), Some(Owner::Cgroup(1)));
+}

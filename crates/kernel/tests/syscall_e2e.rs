@@ -1,0 +1,230 @@
+//! End-to-end: user programs trap into the generated kernel through the
+//! simulated pipeline — dispatch stub, indirect call, nested kernel
+//! functions, semantic hooks, and back through `sysret`.
+
+use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::kernel::{Kernel, SharedKernel};
+use persp_kernel::layout;
+use persp_kernel::syscalls::Sysno;
+use persp_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use persp_uarch::config::CoreConfig;
+use persp_uarch::isa::{Assembler, Inst, REG_ARG0, REG_ARG1, REG_ARG2, REG_SYSNO};
+use persp_uarch::machine::Machine;
+use persp_uarch::pipeline::Core;
+use persp_uarch::policy::{FencePolicy, SpecPolicy, UnsafePolicy};
+
+fn build_core(policy: Box<dyn SpecPolicy>) -> (Core, SharedKernel, u16) {
+    let kernel = Kernel::build_unprotected(KernelConfig::test_small());
+    let shared = SharedKernel::new(kernel);
+    let mut machine = Machine::new();
+    shared.borrow().install(&mut machine);
+    let pid = shared.borrow_mut().create_process(1, &mut machine);
+    let asid = pid as u16;
+    shared.borrow().set_current(asid, &mut machine);
+    let core = Core::new(
+        CoreConfig::paper_default(),
+        machine,
+        MemoryHierarchy::new(HierarchyConfig::paper_default()),
+        policy,
+        Box::new(shared.clone()),
+    );
+    (core, shared, asid)
+}
+
+fn user_syscall_program(base: u64, sys: Sysno, args: &[(u8, u64)]) -> Vec<(u64, Inst)> {
+    let mut asm = Assembler::new(base);
+    for &(reg, val) in args {
+        asm.movi(reg, val);
+    }
+    asm.movi(REG_SYSNO, sys as u16 as u64);
+    asm.push(Inst::Syscall);
+    asm.push(Inst::Halt);
+    asm.finish()
+}
+
+#[test]
+fn getpid_round_trip() {
+    let (mut core, shared, asid) = build_core(Box::new(UnsafePolicy::new()));
+    let pid = shared.borrow().process(asid).unwrap().pid;
+    let base = layout::user_text_base(pid);
+    let prog = user_syscall_program(base, Sysno::Getpid, &[]);
+    core.machine.load_text(prog);
+
+    let summary = core.run(base, 2_000_000).expect("getpid completes");
+    assert_eq!(
+        core.machine.reg(1),
+        u64::from(pid),
+        "getpid returns the pid"
+    );
+    assert_eq!(summary.stats.syscalls, 1);
+    assert!(
+        summary.stats.kernel_cycles > 0,
+        "time was spent in the kernel"
+    );
+    assert!(
+        summary.stats.committed_insts > 20,
+        "the syscall path runs real kernel code: {:?}",
+        summary.stats
+    );
+    assert_eq!(
+        core.machine.mode,
+        persp_uarch::Mode::User,
+        "returned to userspace"
+    );
+    assert!(core.machine.call_stack.is_empty(), "call stack balanced");
+}
+
+#[test]
+fn select_scans_fds_and_counts_kernel_work() {
+    let (mut core, _shared, _asid) = build_core(Box::new(UnsafePolicy::new()));
+    let base = layout::user_text_base(1);
+    let prog = user_syscall_program(base, Sysno::Select, &[(REG_ARG0, 128)]);
+    core.machine.load_text(prog);
+
+    let summary = core.run(base, 2_000_000).expect("select completes");
+    // The fd-scan loop runs 128 iterations of ~8 instructions.
+    assert!(
+        summary.stats.committed_insts > 800,
+        "select must loop over 128 fds: {:?}",
+        summary.stats
+    );
+    assert!(
+        summary.stats.committed_branches >= 256,
+        "two branches per fd iteration"
+    );
+}
+
+#[test]
+fn read_copies_into_user_buffer() {
+    let (mut core, shared, asid) = build_core(Box::new(UnsafePolicy::new()));
+    let pid = shared.borrow().process(asid).unwrap().pid;
+    let base = layout::user_text_base(pid);
+    let buf = layout::user_data_base(pid) + 0x1000;
+
+    // Fill the page-cache page with a pattern.
+    let pc_va = shared
+        .borrow()
+        .process(asid)
+        .unwrap()
+        .page_cache_va
+        .unwrap();
+    for i in 0..8u64 {
+        core.machine.mem.write_u64(pc_va + i * 8, 0xAB00 + i);
+    }
+
+    let prog = user_syscall_program(
+        base,
+        Sysno::Read,
+        &[(REG_ARG0, 3), (REG_ARG1, buf), (REG_ARG2, 8)],
+    );
+    core.machine.load_text(prog);
+    core.run(base, 2_000_000).expect("read completes");
+
+    for i in 0..8u64 {
+        assert_eq!(
+            core.machine.mem.read_u64(buf + i * 8),
+            0xAB00 + i,
+            "word {i} copied to the user buffer"
+        );
+    }
+    assert_eq!(core.machine.reg(1), 8, "read returns the word count");
+}
+
+#[test]
+fn mmap_allocates_and_registers_ownership() {
+    let (mut core, shared, _asid) = build_core(Box::new(UnsafePolicy::new()));
+    let base = layout::user_text_base(1);
+    let prog = user_syscall_program(base, Sysno::Mmap, &[(REG_ARG0, 4)]);
+    core.machine.load_text(prog);
+
+    let free_before = shared.borrow().buddy.free_frames();
+    core.run(base, 2_000_000).expect("mmap completes");
+    assert_eq!(core.machine.reg(1), layout::user_data_base(1));
+    assert_eq!(shared.borrow().buddy.free_frames(), free_before - 4);
+}
+
+#[test]
+fn every_syscall_completes_under_unsafe_and_fence() {
+    for fence in [false, true] {
+        let policy: Box<dyn SpecPolicy> = if fence {
+            Box::new(FencePolicy::new())
+        } else {
+            Box::new(UnsafePolicy::new())
+        };
+        let (mut core, _shared, _asid) = build_core(policy);
+        let base = layout::user_text_base(1);
+        let buf = layout::user_data_base(1) + 0x10_000;
+        let mut asm = Assembler::new(base);
+        for &sys in Sysno::ALL {
+            if matches!(sys, Sysno::Exit | Sysno::Execve) {
+                continue; // destructive semantics exercised separately
+            }
+            asm.movi(REG_ARG0, 4);
+            asm.movi(REG_ARG1, buf);
+            asm.movi(REG_ARG2, 4);
+            asm.movi(REG_SYSNO, sys as u16 as u64);
+            asm.push(Inst::Syscall);
+        }
+        asm.push(Inst::Halt);
+        core.machine.load_text(asm.finish());
+
+        let summary = core.run(base, 20_000_000).expect("all syscalls complete");
+        assert_eq!(summary.stats.syscalls as usize, Sysno::ALL.len() - 2);
+    }
+}
+
+#[test]
+fn fence_is_slower_than_unsafe_on_select() {
+    let mut cycles = Vec::new();
+    for fence in [false, true] {
+        let policy: Box<dyn SpecPolicy> = if fence {
+            Box::new(FencePolicy::new())
+        } else {
+            Box::new(UnsafePolicy::new())
+        };
+        let (mut core, _shared, _asid) = build_core(policy);
+        let base = layout::user_text_base(1);
+        let prog = user_syscall_program(base, Sysno::Select, &[(REG_ARG0, 256)]);
+        core.machine.load_text(prog);
+        // Warm up, then measure.
+        core.run(base, 4_000_000).expect("warmup");
+        let s = core.run(base, 4_000_000).expect("measured run");
+        cycles.push(s.stats.cycles);
+    }
+    assert!(
+        cycles[1] > cycles[0] * 11 / 10,
+        "FENCE must cost ≥10% on the fd-scan loop: unsafe={} fence={}",
+        cycles[0],
+        cycles[1]
+    );
+}
+
+#[test]
+fn call_trace_records_kernel_functions() {
+    let (mut core, shared, _asid) = build_core(Box::new(UnsafePolicy::new()));
+    let base = layout::user_text_base(1);
+    let prog = user_syscall_program(
+        base,
+        Sysno::Read,
+        &[(REG_ARG1, layout::user_data_base(1)), (REG_ARG2, 2)],
+    );
+    core.machine.load_text(prog);
+
+    core.enable_call_trace();
+    core.run(base, 2_000_000).expect("runs");
+    let trace = core.take_call_trace();
+    let kernel = shared.borrow();
+    let traced_funcs: Vec<_> = trace
+        .iter()
+        .filter_map(|&va| kernel.graph.func_of_va(va))
+        .collect();
+    assert!(
+        traced_funcs.len() >= 2,
+        "dispatch + sys_read + helpers must appear in the trace: {traced_funcs:?}"
+    );
+    let entry = kernel.graph.entries[&Sysno::Read];
+    assert!(
+        traced_funcs.contains(&entry),
+        "sys_read entry must be traced"
+    );
+}

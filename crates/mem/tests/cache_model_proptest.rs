@@ -1,0 +1,162 @@
+//! Model-based property testing of the set-associative cache against a
+//! reference LRU oracle, including Perspective's deferred-LRU semantics.
+
+use persp_mem::cache::{Cache, CacheConfig};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference model: per set, an LRU-ordered list of resident tags
+/// (front = most recently used).
+struct OracleCache {
+    sets: Vec<VecDeque<u64>>,
+    ways: usize,
+    line_shift: u32,
+    set_bits: u32,
+}
+
+impl OracleCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.num_sets();
+        OracleCache {
+            sets: vec![VecDeque::new(); sets],
+            ways: cfg.ways,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_bits: sets.trailing_zeros(),
+        }
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        (
+            (line & ((1 << self.set_bits) - 1)) as usize,
+            line >> self.set_bits,
+        )
+    }
+
+    /// Normal access: returns hit, allocates, moves to MRU.
+    fn access(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        let list = &mut self.sets[set];
+        if let Some(pos) = list.iter().position(|&t| t == tag) {
+            list.remove(pos);
+            list.push_front(tag);
+            true
+        } else {
+            if list.len() == self.ways {
+                list.pop_back();
+            }
+            list.push_front(tag);
+            false
+        }
+    }
+
+    /// Deferred access: allocates at MRU on miss, does NOT reorder on hit.
+    fn touch_deferred(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        let list = &mut self.sets[set];
+        if list.contains(&tag) {
+            true
+        } else {
+            if list.len() == self.ways {
+                list.pop_back();
+            }
+            list.push_front(tag);
+            false
+        }
+    }
+
+    fn commit_touch(&mut self, addr: u64) {
+        let (set, tag) = self.locate(addr);
+        let list = &mut self.sets[set];
+        if let Some(pos) = list.iter().position(|&t| t == tag) {
+            list.remove(pos);
+            list.push_front(tag);
+        }
+    }
+
+    fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        self.sets[set].contains(&tag)
+    }
+
+    fn flush_line(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        let list = &mut self.sets[set];
+        if let Some(pos) = list.iter().position(|&t| t == tag) {
+            list.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access(u64),
+    TouchDeferred(u64),
+    CommitTouch(u64),
+    Probe(u64),
+    Flush(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Addresses confined to a few sets so collisions and evictions are
+    // frequent.
+    let addr = (0u64..4, 0u64..8).prop_map(|(set, tag)| (tag << 8) | (set << 6));
+    prop_oneof![
+        addr.clone().prop_map(Op::Access),
+        addr.clone().prop_map(Op::TouchDeferred),
+        addr.clone().prop_map(Op::CommitTouch),
+        addr.clone().prop_map(Op::Probe),
+        addr.prop_map(Op::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_agrees_with_lru_oracle(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let cfg = CacheConfig {
+            size_bytes: 4 * 64 * 2, // 4 sets x 2 ways
+            line_bytes: 64,
+            ways: 2,
+            rt_latency: 1,
+            name: "model",
+        };
+        let mut cache = Cache::new(cfg);
+        let mut oracle = OracleCache::new(&cfg);
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Access(a) => {
+                    prop_assert_eq!(cache.access(a), oracle.access(a), "access #{} at {:#x}", i, a);
+                }
+                Op::TouchDeferred(a) => {
+                    prop_assert_eq!(
+                        cache.touch_deferred(a),
+                        oracle.touch_deferred(a),
+                        "deferred #{} at {:#x}", i, a
+                    );
+                }
+                Op::CommitTouch(a) => {
+                    cache.commit_touch(a);
+                    oracle.commit_touch(a);
+                }
+                Op::Probe(a) => {
+                    prop_assert_eq!(cache.probe(a), oracle.probe(a), "probe #{} at {:#x}", i, a);
+                }
+                Op::Flush(a) => {
+                    prop_assert_eq!(cache.flush_line(a), oracle.flush_line(a), "flush #{}", i);
+                }
+            }
+        }
+        // Final residency agreement over the whole address universe.
+        for set in 0..4u64 {
+            for tag in 0..8u64 {
+                let a = (tag << 8) | (set << 6);
+                prop_assert_eq!(cache.probe(a), oracle.probe(a), "final state at {:#x}", a);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Core configuration (Table 7.1).
+
+use crate::predictor::BtbMode;
+
+/// Parameters of the simulated out-of-order core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Issue/commit width.
+    pub width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// BTB entries (power of two).
+    pub btb_entries: usize,
+    /// BTB hardening mode (Legacy, or eIBRS-style privilege tagging with
+    /// history-mixed indexing).
+    pub btb_mode: BtbMode,
+    /// Return-stack entries.
+    pub rsb_entries: usize,
+    /// Front-end depth: cycles from fetch to earliest execute.
+    pub frontend_latency: u64,
+    /// Extra redirect bubble after a squash.
+    pub mispredict_penalty: u64,
+    /// Cycles from operand readiness to conditional-branch resolution
+    /// (issue + execute through the branch unit of a deep pipeline).
+    pub branch_resolve_latency: u64,
+    /// Cycles to resolve a `ret`'s actual target (return-address load).
+    pub ret_resolve_latency: u64,
+    /// Extra front-end cost of a retpoline-protected indirect branch.
+    pub retpoline_cost: u64,
+    /// Core frequency in GHz (Table 7.1: 2.0) — used to convert cycles to
+    /// wall-clock for requests-per-second reporting.
+    pub freq_ghz: f64,
+}
+
+impl CoreConfig {
+    /// The paper's configuration: 8-issue OoO, 192 ROB, 62 LQ, 32 SQ,
+    /// 4096-entry BTB, 16-entry RAS, 2.0 GHz.
+    pub fn paper_default() -> Self {
+        CoreConfig {
+            width: 8,
+            rob_entries: 192,
+            lq_entries: 62,
+            sq_entries: 32,
+            btb_entries: 4096,
+            btb_mode: BtbMode::Legacy,
+            rsb_entries: 16,
+            frontend_latency: 5,
+            mispredict_penalty: 5,
+            branch_resolve_latency: 4,
+            ret_resolve_latency: 8,
+            retpoline_cost: 30,
+            freq_ghz: 2.0,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table_7_1() {
+        let c = CoreConfig::paper_default();
+        assert_eq!(c.width, 8);
+        assert_eq!(c.rob_entries, 192);
+        assert_eq!(c.lq_entries, 62);
+        assert_eq!(c.sq_entries, 32);
+        assert_eq!(c.btb_entries, 4096);
+        assert_eq!(c.rsb_entries, 16);
+        assert!((c.freq_ghz - 2.0).abs() < f64::EPSILON);
+    }
+}

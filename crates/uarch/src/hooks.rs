@@ -1,0 +1,86 @@
+//! Host-level kernel semantic hooks.
+//!
+//! Bookkeeping-heavy kernel semantics (allocators, file descriptors,
+//! scheduling) are implemented in Rust rather than µISA code. A `KHook`
+//! instruction dispatches to the registered [`HookHandler`] at commit time —
+//! hooks are serializing, so they can never execute transiently and never
+//! need speculation protection (mirroring how the paper abstracts such code
+//! behind its allocator instrumentation).
+
+use crate::machine::Machine;
+
+/// Control-flow effect a hook may request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookAction {
+    /// Continue at the next instruction.
+    Continue,
+    /// Redirect fetch to an absolute address (e.g. a fault handler or a
+    /// scheduler-selected entry point).
+    Redirect(u64),
+}
+
+/// Result of executing one hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HookResult {
+    /// Extra stall cycles charged to the front-end, modelling the work the
+    /// hook abstracts (e.g. an allocation fast path).
+    pub extra_cycles: u64,
+    /// Requested control-flow effect.
+    pub action: HookAction,
+}
+
+impl HookResult {
+    /// A free, fall-through hook result.
+    pub fn nop() -> Self {
+        HookResult {
+            extra_cycles: 0,
+            action: HookAction::Continue,
+        }
+    }
+
+    /// Fall through after charging `cycles`.
+    pub fn cost(cycles: u64) -> Self {
+        HookResult {
+            extra_cycles: cycles,
+            action: HookAction::Continue,
+        }
+    }
+}
+
+/// Receiver of `KHook` dispatches. Implemented by the mini-OS kernel.
+pub trait HookHandler {
+    /// Execute hook `id`; may freely mutate registers and memory.
+    fn on_hook(&mut self, id: u16, machine: &mut Machine) -> HookResult;
+}
+
+/// A handler that treats every hook as a free no-op (useful for tests and
+/// bare-metal microkernels of the test suite).
+#[derive(Debug, Default)]
+pub struct NullHooks;
+
+impl HookHandler for NullHooks {
+    fn on_hook(&mut self, _id: u16, _machine: &mut Machine) -> HookResult {
+        HookResult::nop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_hooks_are_free() {
+        let mut h = NullHooks;
+        let mut m = Machine::new();
+        let r = h.on_hook(7, &mut m);
+        assert_eq!(r, HookResult::nop());
+        assert_eq!(r.extra_cycles, 0);
+    }
+
+    #[test]
+    fn cost_constructor() {
+        let r = HookResult::cost(12);
+        assert_eq!(r.extra_cycles, 12);
+        assert_eq!(r.action, HookAction::Continue);
+    }
+}

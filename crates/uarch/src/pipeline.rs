@@ -1,0 +1,1422 @@
+//! The out-of-order, speculative core.
+//!
+//! The pipeline is the piece of the reproduction that makes transient
+//! execution *real*: fetch follows branch predictions, wrong-path
+//! instructions execute (and speculative loads fill the caches) until the
+//! mispredicted branch resolves and squashes them. What a speculative load
+//! may do is delegated to the plugged-in [`SpecPolicy`]; everything else —
+//! visibility-point tracking, squash/recovery, RSB/BTB interaction, store
+//! forwarding, serializing kernel traps — is shared by every scheme, so
+//! measured overheads differ only because of the policy, exactly as in the
+//! paper's gem5 setup.
+//!
+//! ## Timing model
+//!
+//! Each in-flight instruction lives in the ROB. An instruction computes its
+//! result when all producers have computed *and* their `ready_at` times have
+//! passed; its own `ready_at` is then `now + latency`. Commit retires up to
+//! `width` computed instructions per cycle in order. This is a standard
+//! dependency-DAG timing model: absolute IPC is approximate, relative
+//! overheads between schemes are meaningful.
+
+use crate::config::CoreConfig;
+use crate::hooks::{HookAction, HookHandler};
+use crate::isa::{Inst, Width, INST_BYTES, NUM_REGS, REG_SYSNO};
+use crate::machine::{Machine, Mode};
+use crate::policy::{BlockSource, LoadCtx, LoadDecision, SpecPolicy};
+use crate::predictor::{History, Predictors, Rsb};
+use crate::stats::SimStats;
+use persp_mem::MemoryHierarchy;
+use std::collections::VecDeque;
+
+/// Errors terminating a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Committed-path fetch from an unmapped address.
+    UnmappedFetch {
+        /// The faulting address.
+        pc: u64,
+    },
+    /// A `ret` committed with an empty call stack.
+    CallStackUnderflow {
+        /// The `ret`'s address.
+        pc: u64,
+    },
+    /// No instruction committed for an implausibly long time.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Program counter of the stuck ROB head, if any.
+        head_pc: Option<u64>,
+    },
+    /// The cycle budget given to [`Core::run`] was exhausted.
+    CycleBudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnmappedFetch { pc } => write!(f, "fetch from unmapped address {pc:#x}"),
+            SimError::CallStackUnderflow { pc } => {
+                write!(f, "return with empty call stack at {pc:#x}")
+            }
+            SimError::Deadlock { cycle, head_pc } => {
+                write!(
+                    f,
+                    "pipeline deadlock at cycle {cycle} (head pc {head_pc:?})"
+                )
+            }
+            SimError::CycleBudgetExhausted { budget } => {
+                write!(f, "cycle budget of {budget} exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a completed [`Core::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunSummary {
+    /// Statistics accumulated during this run only.
+    pub stats: SimStats,
+}
+
+/// Bounded set of speculative-load "taint roots" for STT-style tracking.
+///
+/// A value is tainted while any of its root loads is still speculative.
+/// The set saturates at four roots; a saturated set is conservatively
+/// treated as tainted whenever the consumer is speculative.
+#[derive(Debug, Clone, Copy, Default)]
+struct TaintSet {
+    roots: [u64; 4],
+    len: u8,
+    saturated: bool,
+}
+
+impl TaintSet {
+    fn add_root(&mut self, seq: u64) {
+        if self.roots[..self.len as usize].contains(&seq) {
+            return;
+        }
+        if (self.len as usize) < self.roots.len() {
+            self.roots[self.len as usize] = seq;
+            self.len += 1;
+        } else {
+            self.saturated = true;
+        }
+    }
+
+    fn merge(&mut self, other: &TaintSet) {
+        for &r in &other.roots[..other.len as usize] {
+            self.add_root(r);
+        }
+        self.saturated |= other.saturated;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SrcDep {
+    reg: u8,
+    /// Sequence number of the in-flight producer at decode, or `None` if
+    /// the value was architectural at decode time.
+    producer: Option<u64>,
+    /// Snapshot used when `producer` is `None`.
+    snapshot: u64,
+}
+
+#[derive(Debug)]
+struct RobEntry {
+    seq: u64,
+    pc: u64,
+    inst: Inst,
+    srcs: Vec<SrcDep>,
+    /// Earliest cycle this instruction can begin executing (front-end).
+    fetch_ready: u64,
+    computed: bool,
+    value: u64,
+    ready_at: u64,
+    /// Branch-like bookkeeping (conditional, indirect, return).
+    can_mispredict: bool,
+    pred_target: u64,
+    actual_target: u64,
+    mispred: bool,
+    squash_done: bool,
+    hist_snapshot: History,
+    rsb_snapshot: Option<Rsb>,
+    stack_snapshot: Option<Vec<u64>>,
+    pred_taken: bool,
+    actual_taken: bool,
+    /// Memory bookkeeping.
+    addr: u64,
+    width: Width,
+    store_val: u64,
+    issued_mem: bool,
+    blocked: Option<BlockSource>,
+    was_blocked: bool,
+    spec_at_issue: bool,
+    taint: TaintSet,
+    vp_notified: bool,
+    /// Privilege the instruction was fetched in (for BTB privilege tags).
+    in_kernel: bool,
+}
+
+impl RobEntry {
+    fn is_load(&self) -> bool {
+        matches!(self.inst, Inst::Load { .. })
+    }
+    fn is_store(&self) -> bool {
+        matches!(self.inst, Inst::Store { .. })
+    }
+    /// Unresolved = could still redirect/squash younger instructions.
+    fn unresolved_at(&self, now: u64) -> bool {
+        self.can_mispredict && !(self.computed && self.ready_at <= now)
+    }
+}
+
+const DEADLOCK_WINDOW: u64 = 50_000;
+
+/// The simulated out-of-order core.
+pub struct Core {
+    /// Configuration (Table 7.1).
+    pub cfg: CoreConfig,
+    /// Cache hierarchy.
+    pub mem: MemoryHierarchy,
+    /// Committed architectural state.
+    pub machine: Machine,
+    /// Prediction structures — shared across contexts, never flushed.
+    pub pred: Predictors,
+    policy: Box<dyn SpecPolicy>,
+    hooks: Box<dyn HookHandler>,
+
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    now: u64,
+    last_commit_cycle: u64,
+    halted: bool,
+
+    fetch_pc: u64,
+    fetch_stall_until: u64,
+    fetch_halted: bool,
+    fetch_wait_indirect: Option<u64>,
+    last_fetch_line: u64,
+
+    rename: [Option<u64>; NUM_REGS],
+    spec_stack: Vec<u64>,
+    lq_used: usize,
+    sq_used: usize,
+
+    call_trace: Option<std::collections::HashSet<u64>>,
+    stats: SimStats,
+}
+
+impl Core {
+    /// Build a core around a machine image, memory hierarchy, speculation
+    /// policy and kernel hook handler.
+    pub fn new(
+        cfg: CoreConfig,
+        machine: Machine,
+        mem: MemoryHierarchy,
+        policy: Box<dyn SpecPolicy>,
+        hooks: Box<dyn HookHandler>,
+    ) -> Self {
+        let pred = Predictors::with_btb_mode(cfg.btb_entries, cfg.rsb_entries, cfg.btb_mode);
+        Core {
+            cfg,
+            mem,
+            machine,
+            pred,
+            policy,
+            hooks,
+            rob: VecDeque::new(),
+            next_seq: 0,
+            now: 0,
+            last_commit_cycle: 0,
+            halted: false,
+            fetch_pc: 0,
+            fetch_stall_until: 0,
+            fetch_halted: false,
+            fetch_wait_indirect: None,
+            last_fetch_line: u64::MAX,
+            rename: [None; NUM_REGS],
+            spec_stack: Vec::new(),
+            lq_used: 0,
+            sq_used: 0,
+            call_trace: None,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Start recording the *committed* control-transfer targets (calls,
+    /// indirect calls, indirect jumps) — the substrate of dynamic ISV
+    /// generation, analogous to kernel-level tracing (ftrace).
+    pub fn enable_call_trace(&mut self) {
+        self.call_trace = Some(std::collections::HashSet::new());
+    }
+
+    /// Stop tracing and return the recorded target set.
+    pub fn take_call_trace(&mut self) -> std::collections::HashSet<u64> {
+        self.call_trace.take().unwrap_or_default()
+    }
+
+    /// Cumulative statistics across all runs.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The plugged-in policy (for counter inspection).
+    pub fn policy(&self) -> &dyn SpecPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Mutable access to the policy (e.g. to reconfigure ISVs at runtime).
+    pub fn policy_mut(&mut self) -> &mut dyn SpecPolicy {
+        self.policy.as_mut()
+    }
+
+    /// Mutable access to the hook handler (the kernel).
+    pub fn hooks_mut(&mut self) -> &mut dyn HookHandler {
+        self.hooks.as_mut()
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Run the program at `entry` until a `Halt` commits or `max_cycles`
+    /// elapse. Pipeline state is reset; architectural and
+    /// microarchitectural (cache, predictor) state persists across runs —
+    /// which is exactly what cross-context attacks rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on unmapped committed-path fetches, call
+    /// stack underflow, deadlock, or budget exhaustion.
+    pub fn run(&mut self, entry: u64, max_cycles: u64) -> Result<RunSummary, SimError> {
+        let start_stats = self.stats;
+        let start_cycle = self.now;
+        self.rob.clear();
+        self.halted = false;
+        self.fetch_pc = entry;
+        self.fetch_stall_until = self.now;
+        self.fetch_halted = false;
+        self.fetch_wait_indirect = None;
+        self.last_fetch_line = u64::MAX;
+        self.rename = [None; NUM_REGS];
+        self.spec_stack = self.machine.call_stack.clone();
+        self.lq_used = 0;
+        self.sq_used = 0;
+        self.last_commit_cycle = self.now;
+
+        while !self.halted {
+            if self.now - start_cycle > max_cycles {
+                return Err(SimError::CycleBudgetExhausted { budget: max_cycles });
+            }
+            if self.now - self.last_commit_cycle > DEADLOCK_WINDOW {
+                return Err(SimError::Deadlock {
+                    cycle: self.now,
+                    head_pc: self.rob.front().map(|e| e.pc),
+                });
+            }
+            self.step()?;
+        }
+        Ok(RunSummary {
+            stats: self.stats.delta_since(&start_stats),
+        })
+    }
+
+    fn step(&mut self) -> Result<(), SimError> {
+        self.exec_stage();
+        self.squash_stage();
+        self.vp_stage();
+        self.commit_stage()?;
+        self.fetch_stage()?;
+        if self.machine.mode == Mode::Kernel {
+            self.stats.kernel_cycles += 1;
+        } else {
+            self.stats.user_cycles += 1;
+        }
+        self.stats.cycles += 1;
+        self.now += 1;
+        Ok(())
+    }
+
+    // ----- helpers ------------------------------------------------------
+
+    /// Index of the in-flight entry with sequence number `seq`, if it is
+    /// still in the ROB. Sequence numbers are monotonically increasing but
+    /// *not* contiguous after squashes, so this is a binary search.
+    fn index_of_seq(&self, seq: u64) -> Option<usize> {
+        let idx = self.rob.partition_point(|e| e.seq < seq);
+        (idx < self.rob.len() && self.rob[idx].seq == seq).then_some(idx)
+    }
+
+    /// Is the source value available at cycle `now`? Returns
+    /// `(ready, value, ready_at, taint)`.
+    fn src_status(&self, dep: &SrcDep) -> Option<(u64, u64, TaintSet)> {
+        match dep.producer {
+            None => Some((dep.snapshot, 0, TaintSet::default())),
+            Some(seq) => match self.index_of_seq(seq) {
+                None => Some((self.machine.reg(dep.reg), 0, TaintSet::default())),
+                Some(idx) => {
+                    let p = &self.rob[idx];
+                    if p.computed && p.ready_at <= self.now {
+                        Some((p.value, p.ready_at, p.taint))
+                    } else {
+                        None
+                    }
+                }
+            },
+        }
+    }
+
+    /// Does the taint set contain a root load that is still speculative
+    /// (in flight and not at its VP)?
+    fn taint_active(&self, taint: &TaintSet, any_older_unresolved: bool) -> bool {
+        if taint.saturated {
+            return any_older_unresolved;
+        }
+        taint.roots[..taint.len as usize]
+            .iter()
+            .any(|&seq| self.index_of_seq(seq).is_some())
+    }
+
+    // ----- execute ------------------------------------------------------
+
+    fn exec_stage(&mut self) {
+        let mut older_unresolved_branch = false;
+        let mut older_uncommitted_fence = false;
+        let mut older_store_addr_unknown = false;
+
+        for i in 0..self.rob.len() {
+            let (computed, fetch_ready) = {
+                let e = &self.rob[i];
+                (e.computed, e.fetch_ready)
+            };
+            let inst = self.rob[i].inst;
+
+            if !computed
+                && !inst.is_serializing()
+                && !older_uncommitted_fence
+                && fetch_ready <= self.now
+            {
+                self.try_compute(i, older_unresolved_branch, older_store_addr_unknown);
+            }
+
+            let e = &self.rob[i];
+            if e.unresolved_at(self.now) {
+                older_unresolved_branch = true;
+            }
+            if matches!(e.inst, Inst::Fence) {
+                older_uncommitted_fence = true;
+            }
+            if e.is_store() && !e.computed {
+                older_store_addr_unknown = true;
+            }
+        }
+    }
+
+    fn try_compute(&mut self, i: usize, speculative: bool, older_store_addr_unknown: bool) {
+        // Gather sources.
+        let deps = self.rob[i].srcs.clone();
+        let mut vals = Vec::with_capacity(deps.len());
+        let mut src_ready = 0u64;
+        let mut taint = TaintSet::default();
+        for dep in &deps {
+            match self.src_status(dep) {
+                Some((v, r, t)) => {
+                    vals.push(v);
+                    src_ready = src_ready.max(r);
+                    taint.merge(&t);
+                }
+                None => return, // operands not ready
+            }
+        }
+
+        let inst = self.rob[i].inst;
+        let pc = self.rob[i].pc;
+        let seq = self.rob[i].seq;
+        match inst {
+            Inst::Alu { op, .. } => {
+                let e = &mut self.rob[i];
+                e.value = op.apply(vals[0], vals[1]);
+                e.ready_at = self.now + op.latency();
+                e.taint = taint;
+                e.computed = true;
+            }
+            Inst::AluImm { op, imm, .. } => {
+                let e = &mut self.rob[i];
+                e.value = op.apply(vals[0], imm);
+                e.ready_at = self.now + op.latency();
+                e.taint = taint;
+                e.computed = true;
+            }
+            Inst::Branch { cond, target, .. } => {
+                let taken = cond.eval(vals[0], vals[1]);
+                let lat = self.cfg.branch_resolve_latency.max(1);
+                let e = &mut self.rob[i];
+                e.actual_taken = taken;
+                e.actual_target = if taken { target } else { pc + INST_BYTES };
+                e.mispred = e.actual_target != e.pred_target;
+                e.ready_at = self.now + lat;
+                e.computed = true;
+            }
+            Inst::JumpInd { .. } | Inst::CallInd { .. } => {
+                let target = vals[0];
+                let e = &mut self.rob[i];
+                e.actual_target = target;
+                e.mispred = e.pred_target != target;
+                e.ready_at = self.now + 1;
+                e.computed = true;
+                let ready_at = e.ready_at;
+                // Resume a front-end stalled on this unpredicted indirect.
+                if self.fetch_wait_indirect == Some(seq) {
+                    self.fetch_wait_indirect = None;
+                    self.fetch_pc = target;
+                    let extra = if self.policy.predict_indirect() {
+                        0
+                    } else {
+                        self.cfg.retpoline_cost
+                    };
+                    self.fetch_stall_until = self.fetch_stall_until.max(ready_at + extra);
+                    self.rob[i].mispred = false;
+                    self.rob[i].pred_target = target;
+                }
+            }
+            Inst::Store { width, .. } => {
+                if older_store_addr_unknown {
+                    // In-order address computation for stores keeps
+                    // forwarding precise; nothing to do this cycle.
+                }
+                let e = &mut self.rob[i];
+                e.store_val = vals[0];
+                e.addr = vals[1].wrapping_add(store_offset(&inst) as u64);
+                e.width = width;
+                e.taint = taint;
+                e.ready_at = self.now + 1;
+                e.computed = true;
+            }
+            Inst::Load { offset, width, .. } => {
+                let addr = vals[0].wrapping_add(offset as u64);
+                // Memory disambiguation: conservative — wait while any older
+                // store address is unknown.
+                if older_store_addr_unknown {
+                    return;
+                }
+                // Store-to-load forwarding from the youngest matching older
+                // store; overlap without exact match stalls until it drains.
+                let mut forward: Option<(u64, TaintSet)> = None;
+                let mut must_wait = false;
+                for j in (0..i).rev() {
+                    let s = &self.rob[j];
+                    if !s.is_store() {
+                        continue;
+                    }
+                    let (sa, sw) = (s.addr, s.width.bytes());
+                    let (la, lw) = (addr, width.bytes());
+                    if sa == la && sw == lw {
+                        forward = Some((s.store_val, s.taint));
+                        break;
+                    }
+                    if sa < la + lw && la < sa + sw {
+                        must_wait = true;
+                        break;
+                    }
+                }
+                if must_wait {
+                    return;
+                }
+                if let Some((v, t)) = forward {
+                    let e = &mut self.rob[i];
+                    e.value = mask_width(v, width);
+                    e.addr = addr;
+                    e.width = width;
+                    e.ready_at = self.now + 1;
+                    e.taint = t;
+                    e.computed = true;
+                    e.issued_mem = false;
+                    return;
+                }
+                // Policy gate.
+                let tainted_addr = self.taint_active(&taint, speculative) && speculative;
+                let ctx = LoadCtx {
+                    pc,
+                    addr,
+                    mode: self.machine.mode,
+                    asid: self.machine.asid,
+                    speculative,
+                    tainted_addr,
+                    l1_hit: self.mem.probe_l1d(addr),
+                    cur_sysno: self.machine.cur_sysno,
+                };
+                if self.rob[i].blocked.is_none() {
+                    match self.policy.check_load(&ctx) {
+                        LoadDecision::Allow => {
+                            self.issue_load(i, addr, width, taint, speculative, src_ready);
+                        }
+                        LoadDecision::BlockUntilVp(src) => {
+                            let e = &mut self.rob[i];
+                            e.blocked = Some(src);
+                            e.was_blocked = true;
+                            e.addr = addr;
+                            e.width = width;
+                            e.taint = taint;
+                            self.stats.loads_fenced += 1;
+                        }
+                    }
+                }
+                // Blocked loads are re-issued by `vp_stage` once safe.
+            }
+            Inst::CacheFlush { offset, .. } => {
+                let addr = vals[0].wrapping_add(offset as u64);
+                // Flushes are not transmitters; they perform at execute.
+                self.mem.flush(addr);
+                let e = &mut self.rob[i];
+                e.addr = addr;
+                e.ready_at = self.now + 1;
+                e.computed = true;
+            }
+            Inst::Fence | Inst::Nop => {
+                let e = &mut self.rob[i];
+                e.ready_at = self.now + 1;
+                e.computed = true;
+            }
+            // MovImm / Jump / Call / Ret are computed at decode.
+            // Serializing instructions are computed at the ROB head.
+            _ => {}
+        }
+    }
+
+    fn issue_load(
+        &mut self,
+        i: usize,
+        addr: u64,
+        width: Width,
+        mut taint: TaintSet,
+        speculative: bool,
+        _src_ready: u64,
+    ) {
+        let (lat, _level) = self.mem.read_classified(addr);
+        let value = self.machine.mem.read(addr, width);
+        if speculative {
+            let seq = self.rob[i].seq;
+            taint.add_root(seq);
+        }
+        let e = &mut self.rob[i];
+        e.value = value;
+        e.addr = addr;
+        e.width = width;
+        e.ready_at = self.now + lat;
+        e.taint = taint;
+        e.computed = true;
+        e.issued_mem = true;
+        e.spec_at_issue = speculative;
+        e.blocked = None;
+    }
+
+    // ----- squash -------------------------------------------------------
+
+    fn squash_stage(&mut self) {
+        let Some(i) = (0..self.rob.len()).find(|&i| {
+            let e = &self.rob[i];
+            e.computed && e.ready_at <= self.now && e.mispred && !e.squash_done
+        }) else {
+            return;
+        };
+
+        // Restore front-end state from the mispredicting entry's snapshots.
+        let (actual_target, hist_snapshot, actual_taken, is_cond) = {
+            let e = &mut self.rob[i];
+            e.squash_done = true;
+            (
+                e.actual_target,
+                e.hist_snapshot,
+                e.actual_taken,
+                matches!(e.inst, Inst::Branch { .. }),
+            )
+        };
+        if let Some(rsb) = self.rob[i].rsb_snapshot.clone() {
+            self.pred.rsb = rsb;
+        }
+        if let Some(stack) = self.rob[i].stack_snapshot.clone() {
+            self.spec_stack = stack;
+        }
+        if is_cond {
+            self.pred.hist = (hist_snapshot << 1) | u64::from(actual_taken);
+        } else {
+            self.pred.hist = hist_snapshot;
+        }
+
+        // Drop younger entries.
+        while self.rob.len() > i + 1 {
+            let dropped = self.rob.pop_back().expect("len checked");
+            self.stats.squashed_insts += 1;
+            if dropped.is_load() {
+                self.lq_used -= 1;
+                if dropped.issued_mem && dropped.spec_at_issue {
+                    self.stats.transient_loads_issued += 1;
+                }
+            }
+            if dropped.is_store() {
+                self.sq_used -= 1;
+            }
+        }
+        self.stats.squashes += 1;
+
+        // Rebuild the rename table from surviving entries.
+        self.rename = [None; NUM_REGS];
+        for e in &self.rob {
+            if let Some(dst) = e.inst.dst() {
+                self.rename[dst as usize] = Some(e.seq);
+            }
+        }
+
+        self.fetch_pc = actual_target;
+        self.fetch_stall_until = self.now + self.cfg.mispredict_penalty;
+        self.fetch_halted = false;
+        self.fetch_wait_indirect = None;
+        self.last_fetch_line = u64::MAX;
+    }
+
+    // ----- visibility points ---------------------------------------------
+
+    fn vp_stage(&mut self) {
+        let mut older_can_squash = false;
+        for i in 0..self.rob.len() {
+            let at_vp = !older_can_squash;
+            if at_vp {
+                let needs_issue = {
+                    let e = &self.rob[i];
+                    e.is_load() && e.blocked.is_some()
+                };
+                if needs_issue {
+                    let (addr, width, taint) = {
+                        let e = &self.rob[i];
+                        (e.addr, e.width, e.taint)
+                    };
+                    self.issue_load(i, addr, width, taint, false, 0);
+                }
+                let notify = {
+                    let e = &self.rob[i];
+                    e.is_load() && e.computed && e.issued_mem && !e.vp_notified
+                };
+                if notify {
+                    let e = &self.rob[i];
+                    let ctx = LoadCtx {
+                        pc: e.pc,
+                        addr: e.addr,
+                        mode: self.machine.mode,
+                        asid: self.machine.asid,
+                        speculative: false,
+                        tainted_addr: false,
+                        l1_hit: true,
+                        cur_sysno: self.machine.cur_sysno,
+                    };
+                    self.policy.on_load_vp(&ctx);
+                    self.rob[i].vp_notified = true;
+                }
+            }
+            if self.rob[i].unresolved_at(self.now) {
+                older_can_squash = true;
+            }
+        }
+    }
+
+    // ----- commit -------------------------------------------------------
+
+    fn commit_stage(&mut self) -> Result<(), SimError> {
+        for _ in 0..self.cfg.width {
+            let Some(head) = self.rob.front() else { break };
+
+            // Serializing instructions execute at the head.
+            if head.inst.is_serializing() && !head.computed {
+                let inst = head.inst;
+                let e = self.rob.front_mut().expect("nonempty");
+                if let Inst::RdTsc { .. } = inst { e.value = self.now }
+                e.ready_at = self.now;
+                e.computed = true;
+            }
+
+            let head = self.rob.front().expect("nonempty");
+            if !head.computed || head.ready_at > self.now {
+                break;
+            }
+            debug_assert!(
+                !head.mispred || head.squash_done,
+                "mispredicted control must squash before commit"
+            );
+
+            let entry = self.rob.pop_front().expect("nonempty");
+            self.last_commit_cycle = self.now;
+            self.stats.committed_insts += 1;
+
+            // Free the rename slot if this entry is still the last writer.
+            if let Some(dst) = entry.inst.dst() {
+                if self.rename[dst as usize] == Some(entry.seq) {
+                    self.rename[dst as usize] = None;
+                }
+                self.machine.set_reg(dst, entry.value);
+            }
+
+            match entry.inst {
+                Inst::Store { width, .. } => {
+                    self.machine.mem.write(entry.addr, entry.store_val, width);
+                    self.mem.write(entry.addr);
+                    self.sq_used -= 1;
+                    self.stats.committed_stores += 1;
+                }
+                Inst::Load { .. } => {
+                    self.lq_used -= 1;
+                    self.stats.committed_loads += 1;
+                }
+                Inst::Branch { .. } => {
+                    self.stats.committed_branches += 1;
+                    self.pred
+                        .dir
+                        .update(entry.pc, entry.hist_snapshot, entry.actual_taken);
+                }
+                Inst::JumpInd { .. } | Inst::CallInd { .. } => {
+                    self.pred.btb.install(
+                        entry.pc,
+                        entry.hist_snapshot,
+                        entry.actual_target,
+                        entry.in_kernel,
+                    );
+                    if matches!(entry.inst, Inst::CallInd { .. }) {
+                        self.machine.call_stack.push(entry.pc + INST_BYTES);
+                    }
+                    if let Some(trace) = &mut self.call_trace {
+                        trace.insert(entry.actual_target);
+                    }
+                }
+                Inst::Call { target } => {
+                    self.machine.call_stack.push(entry.pc + INST_BYTES);
+                    if let Some(trace) = &mut self.call_trace {
+                        trace.insert(target);
+                    }
+                }
+                Inst::Ret
+                    if self.machine.call_stack.pop().is_none() => {
+                        return Err(SimError::CallStackUnderflow { pc: entry.pc });
+                    }
+                Inst::Syscall => {
+                    self.stats.syscalls += 1;
+                    if let Some(trace) = &mut self.call_trace {
+                        trace.insert(self.machine.kernel_entry);
+                    }
+                    self.machine.mode = Mode::Kernel;
+                    self.machine.cur_sysno = Some(self.machine.reg(REG_SYSNO) as u16);
+                    self.machine.sysret_target = entry.pc + INST_BYTES;
+                    self.fetch_pc = self.machine.kernel_entry;
+                    self.fetch_halted = false;
+                    self.fetch_stall_until = self.now + 1 + self.policy.syscall_entry_cost();
+                }
+                Inst::Sysret => {
+                    self.machine.mode = Mode::User;
+                    self.machine.cur_sysno = None;
+                    self.fetch_pc = self.machine.sysret_target;
+                    self.fetch_halted = false;
+                    self.fetch_stall_until = self.now + 1 + self.policy.syscall_exit_cost();
+                }
+                Inst::KHook { id } => {
+                    let result = self.hooks.on_hook(id, &mut self.machine);
+                    self.fetch_pc = match result.action {
+                        HookAction::Continue => entry.pc + INST_BYTES,
+                        HookAction::Redirect(target) => target,
+                    };
+                    self.fetch_halted = false;
+                    self.fetch_stall_until = self.now + 1 + result.extra_cycles;
+                    // Hooks may rewrite registers/memory wholesale; the
+                    // pipe behind a serializing op is empty, so the spec
+                    // view simply restarts from architectural state.
+                    debug_assert!(self.rob.is_empty());
+                    self.rename = [None; NUM_REGS];
+                    self.spec_stack = self.machine.call_stack.clone();
+                }
+                Inst::RdTsc { .. } => {
+                    self.fetch_pc = entry.pc + INST_BYTES;
+                    self.fetch_halted = false;
+                    self.fetch_stall_until = self.now + 1;
+                }
+                Inst::Halt => {
+                    self.halted = true;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            self.machine.pc = entry.pc;
+        }
+        Ok(())
+    }
+
+    // ----- fetch / decode --------------------------------------------------
+
+    fn fetch_stage(&mut self) -> Result<(), SimError> {
+        if self.halted
+            || self.fetch_halted
+            || self.fetch_wait_indirect.is_some()
+            || self.now < self.fetch_stall_until
+        {
+            return Ok(());
+        }
+        for _ in 0..self.cfg.width {
+            if self.rob.len() >= self.cfg.rob_entries {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let Some(inst) = self.machine.inst_at(pc) else {
+                // Wrong-path fetch into unmapped memory simply stalls the
+                // front-end until the squash redirects it. On the committed
+                // path this is a real fault.
+                // Wrong-path fetches stall until the squash redirects;
+                // an empty ROB means the committed path itself is bad.
+                if !self.rob.is_empty() {
+                    return Ok(());
+                }
+                return Err(SimError::UnmappedFetch { pc });
+            };
+
+            // Instruction-cache timing: one lookup per new line.
+            let line = pc & !63;
+            if line != self.last_fetch_line {
+                let lat = self.mem.fetch(pc);
+                self.last_fetch_line = line;
+                if lat > self.mem.config().l1i.rt_latency {
+                    self.fetch_stall_until = self.now + lat;
+                    return Ok(());
+                }
+            }
+
+            // Capacity checks.
+            if matches!(inst, Inst::Load { .. }) && self.lq_used >= self.cfg.lq_entries {
+                break;
+            }
+            if matches!(inst, Inst::Store { .. }) && self.sq_used >= self.cfg.sq_entries {
+                break;
+            }
+
+            self.decode_one(pc, inst);
+
+            if inst.is_serializing() {
+                self.fetch_halted = true;
+                break;
+            }
+            if self.fetch_wait_indirect.is_some() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn decode_one(&mut self, pc: u64, inst: Inst) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        let srcs: Vec<SrcDep> = inst
+            .srcs()
+            .into_iter()
+            .map(|reg| {
+                let producer = self.rename[reg as usize];
+                let snapshot = if producer.is_none() {
+                    self.machine.reg(reg)
+                } else {
+                    0
+                };
+                SrcDep {
+                    reg,
+                    producer,
+                    snapshot,
+                }
+            })
+            .collect();
+
+        let fetch_ready = self.now + self.cfg.frontend_latency;
+        let mut entry = RobEntry {
+            seq,
+            pc,
+            inst,
+            srcs,
+            fetch_ready,
+            computed: false,
+            value: 0,
+            ready_at: u64::MAX,
+            can_mispredict: false,
+            pred_target: 0,
+            actual_target: 0,
+            mispred: false,
+            squash_done: false,
+            hist_snapshot: self.pred.hist,
+            rsb_snapshot: None,
+            stack_snapshot: None,
+            pred_taken: false,
+            actual_taken: false,
+            addr: 0,
+            width: Width::Q,
+            store_val: 0,
+            issued_mem: false,
+            blocked: None,
+            was_blocked: false,
+            spec_at_issue: false,
+            taint: TaintSet::default(),
+            vp_notified: false,
+            in_kernel: self.machine.mode == Mode::Kernel,
+        };
+
+        match inst {
+            Inst::MovImm { imm, .. } => {
+                entry.value = imm;
+                entry.ready_at = fetch_ready + 1;
+                entry.computed = true;
+                self.fetch_pc = pc + INST_BYTES;
+            }
+            Inst::Branch { .. } => {
+                let taken = self.pred.dir.predict(pc, self.pred.hist);
+                let target = match inst {
+                    Inst::Branch { target, .. } => target,
+                    _ => unreachable!(),
+                };
+                entry.pred_taken = taken;
+                entry.pred_target = if taken { target } else { pc + INST_BYTES };
+                entry.can_mispredict = true;
+                entry.rsb_snapshot = Some(self.pred.rsb.clone());
+                entry.stack_snapshot = Some(self.spec_stack.clone());
+                self.pred.hist = (self.pred.hist << 1) | u64::from(taken);
+                self.fetch_pc = entry.pred_target;
+            }
+            Inst::Jump { target } => {
+                entry.ready_at = fetch_ready + 1;
+                entry.computed = true;
+                self.fetch_pc = target;
+            }
+            Inst::Call { target } => {
+                self.spec_stack.push(pc + INST_BYTES);
+                self.pred.rsb.push(pc + INST_BYTES);
+                entry.ready_at = fetch_ready + 1;
+                entry.computed = true;
+                self.fetch_pc = target;
+            }
+            Inst::CallInd { .. } | Inst::JumpInd { .. } => {
+                if matches!(inst, Inst::CallInd { .. }) {
+                    self.spec_stack.push(pc + INST_BYTES);
+                    self.pred.rsb.push(pc + INST_BYTES);
+                }
+                entry.can_mispredict = true;
+                entry.rsb_snapshot = Some(self.pred.rsb.clone());
+                entry.stack_snapshot = Some(self.spec_stack.clone());
+                let in_kernel = self.machine.mode == Mode::Kernel;
+                let prediction = if self.policy.predict_indirect() {
+                    self.pred.btb.predict(pc, self.pred.hist, in_kernel)
+                } else {
+                    None
+                };
+                match prediction {
+                    Some(t) => {
+                        entry.pred_target = t;
+                        self.fetch_pc = t;
+                    }
+                    None => {
+                        // No prediction: stall fetch until the target
+                        // resolves (also the retpoline path).
+                        self.fetch_wait_indirect = Some(seq);
+                        entry.pred_target = u64::MAX; // placeholder, fixed on resolve
+                    }
+                }
+            }
+            Inst::Ret => {
+                let actual = self.spec_stack.pop().unwrap_or(u64::MAX);
+                let in_kernel = self.machine.mode == Mode::Kernel;
+                let predicted = self
+                    .pred
+                    .rsb
+                    .pop()
+                    .or_else(|| self.pred.btb.predict(pc, self.pred.hist, in_kernel))
+                    .unwrap_or(pc + INST_BYTES);
+                entry.can_mispredict = true;
+                entry.actual_target = actual;
+                entry.pred_target = predicted;
+                entry.actual_taken = true;
+                entry.mispred = predicted != actual;
+                entry.ready_at = fetch_ready + self.cfg.ret_resolve_latency;
+                entry.computed = true;
+                entry.rsb_snapshot = Some(self.pred.rsb.clone());
+                entry.stack_snapshot = Some(self.spec_stack.clone());
+                self.fetch_pc = predicted;
+            }
+            Inst::Load { .. } => {
+                self.lq_used += 1;
+                self.fetch_pc = pc + INST_BYTES;
+            }
+            Inst::Store { .. } => {
+                self.sq_used += 1;
+                self.fetch_pc = pc + INST_BYTES;
+            }
+            _ => {
+                self.fetch_pc = pc + INST_BYTES;
+            }
+        }
+
+        if let Some(dst) = inst.dst() {
+            self.rename[dst as usize] = Some(seq);
+        }
+        self.rob.push_back(entry);
+    }
+}
+
+fn store_offset(inst: &Inst) -> i64 {
+    match *inst {
+        Inst::Store { offset, .. } => offset,
+        _ => 0,
+    }
+}
+
+fn mask_width(v: u64, w: Width) -> u64 {
+    match w {
+        Width::B => v & 0xff,
+        Width::Q => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NullHooks;
+    use crate::isa::AluOp;
+    use crate::isa::{Assembler, Cond};
+    use crate::policy::UnsafePolicy;
+    use persp_mem::hierarchy::HierarchyConfig;
+
+    fn core_with(text: Vec<(u64, Inst)>) -> Core {
+        let mut machine = Machine::new();
+        machine.load_text(text);
+        Core::new(
+            CoreConfig::paper_default(),
+            machine,
+            MemoryHierarchy::new(HierarchyConfig::paper_default()),
+            Box::new(UnsafePolicy::new()),
+            Box::new(NullHooks),
+        )
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut a = Assembler::new(0x1000);
+        a.movi(1, 20);
+        a.movi(2, 22);
+        a.alu(AluOp::Add, 3, 1, 2);
+        a.push(Inst::Halt);
+        let mut core = core_with(a.finish());
+        core.run(0x1000, 10_000).expect("runs");
+        assert_eq!(core.machine.reg(3), 42);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut a = Assembler::new(0x1000);
+        a.movi(1, 0x8000);
+        a.movi(2, 1234);
+        a.store(2, 1, 0);
+        a.load(3, 1, 0);
+        a.push(Inst::Halt);
+        let mut core = core_with(a.finish());
+        core.run(0x1000, 10_000).expect("runs");
+        assert_eq!(core.machine.reg(3), 1234, "store-to-load forwarding");
+        assert_eq!(core.machine.mem.read_u64(0x8000), 1234);
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        // r1 = 0; while (r1 != 10) r1 += 1;
+        let mut a = Assembler::new(0x2000);
+        a.movi(1, 0);
+        a.movi(2, 10);
+        let top = a.here();
+        a.alui(AluOp::Add, 1, 1, 1);
+        a.branch_to(Cond::Ne, 1, 2, top);
+        a.push(Inst::Halt);
+        let mut core = core_with(a.finish());
+        let summary = core.run(0x2000, 100_000).expect("runs");
+        assert_eq!(core.machine.reg(1), 10);
+        assert!(summary.stats.committed_branches >= 10);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut a = Assembler::new(0x3000);
+        let f = 0x4000u64;
+        a.push(Inst::Call { target: f });
+        a.push(Inst::Halt);
+        let mut main_text = a.finish();
+        let mut fa = Assembler::new(f);
+        fa.movi(5, 99);
+        fa.push(Inst::Ret);
+        main_text.extend(fa.finish());
+        let mut core = core_with(main_text);
+        core.run(0x3000, 10_000).expect("runs");
+        assert_eq!(core.machine.reg(5), 99);
+        assert!(core.machine.call_stack.is_empty());
+    }
+
+    #[test]
+    fn indirect_jump_resolves_without_prediction() {
+        let mut a = Assembler::new(0x5000);
+        a.movi(1, 0x5010);
+        a.push(Inst::JumpInd { base: 1 });
+        a.movi(2, 1); // skipped
+        a.push(Inst::Nop); // 0x500c (skipped)
+        let landing = a.here();
+        assert_eq!(landing, 0x5010);
+        a.movi(3, 7);
+        a.push(Inst::Halt);
+        let mut core = core_with(a.finish());
+        core.run(0x5000, 10_000).expect("runs");
+        assert_eq!(core.machine.reg(3), 7);
+        assert_eq!(
+            core.machine.reg(2),
+            0,
+            "skipped instruction must not commit"
+        );
+    }
+
+    #[test]
+    fn transient_wrong_path_load_fills_cache_but_does_not_commit() {
+        // Spectre-style skeleton: train a branch taken, then flip the
+        // condition; the wrong-path load touches memory, gets squashed,
+        // and its line stays resident.
+        let secret_addr = 0x9000u64;
+        let bound_ptr = 0xA000u64;
+
+        // Loop: r4 = i; bound = *(*bound_ptr); if (r4 < bound) { r6 = load secret }.
+        let mut a = Assembler::new(0x6000);
+        a.movi(1, bound_ptr);
+        let skip = a.new_label();
+        a.load(2, 1, 0); // r2 = *bound_ptr (pointer)
+        a.load(3, 2, 0); // r3 = bound (two dependent loads = long window)
+        a.branch(Cond::Geu, 10, 3, skip); // if i >= bound skip
+        a.movi(5, secret_addr);
+        a.load(6, 5, 0); // the "transient" load when mispredicted
+        a.bind(skip);
+        a.push(Inst::Halt);
+        let text = a.finish();
+        let branch_pc = text
+            .iter()
+            .find(|(_, i)| matches!(i, Inst::Branch { .. }))
+            .map(|(a, _)| *a)
+            .unwrap();
+
+        let mut core = core_with(text);
+        core.machine.mem.write_u64(bound_ptr, bound_ptr + 0x100);
+        core.machine.mem.write_u64(bound_ptr + 0x100, 100); // bound = 100
+        core.machine.mem.write_u64(secret_addr, 0x5ec7e7);
+
+        // Train: i = 0 (< 100) → branch not taken, body executes.
+        for _ in 0..6 {
+            core.machine.set_reg(10, 0);
+            core.run(0x6000, 100_000).expect("training run");
+            assert_eq!(core.machine.reg(6), 0x5ec7e7);
+        }
+
+        // Attack run: i = 200 (>= 100) → branch *should* skip, but it is
+        // predicted not-taken; make the bound loads slow so the window is
+        // long enough for the wrong-path load to issue.
+        core.mem.flush(bound_ptr);
+        core.mem.flush(bound_ptr + 0x100);
+        core.mem.flush(secret_addr);
+        core.machine.set_reg(10, 200);
+        core.machine.set_reg(6, 0);
+        let before = core.stats();
+        core.run(0x6000, 100_000).expect("attack run");
+        let delta = core.stats().delta_since(&before);
+
+        assert_eq!(core.machine.reg(6), 0, "transient load must not commit");
+        assert!(delta.squashes >= 1, "the branch mispredicted: {delta:?}");
+        assert!(
+            delta.transient_loads_issued >= 1,
+            "the wrong-path load issued transiently: {delta:?}"
+        );
+        assert!(
+            core.mem.probe_any(secret_addr),
+            "microarchitectural state persists"
+        );
+        let _ = branch_pc;
+    }
+
+    #[test]
+    fn rdtsc_measures_load_latency() {
+        let mut a = Assembler::new(0x7000);
+        a.movi(1, 0xC000);
+        a.push(Inst::RdTsc { dst: 2 });
+        a.load(3, 1, 0);
+        a.push(Inst::RdTsc { dst: 4 });
+        a.alu(AluOp::Sub, 5, 4, 2);
+        a.push(Inst::Halt);
+        let text = a.finish();
+
+        let mut core = core_with(text);
+        // Cold: ~110 cycles; warm: ~2.
+        core.run(0x7000, 10_000).expect("cold run");
+        let cold = core.machine.reg(5);
+        core.run(0x7000, 10_000).expect("warm run");
+        let warm = core.machine.reg(5);
+        assert!(cold > warm + 50, "cold {cold} vs warm {warm}");
+    }
+
+    #[test]
+    fn syscall_traps_to_kernel_and_back() {
+        let mut a = Assembler::new(0x100);
+        a.movi(17, 3);
+        a.push(Inst::Syscall);
+        a.movi(9, 77); // runs after sysret
+        a.push(Inst::Halt);
+        let mut text = a.finish();
+
+        let mut k = Assembler::new(0xFFFF_0000);
+        k.movi(8, 1); // kernel work
+        k.push(Inst::Sysret);
+        text.extend(k.finish());
+
+        let mut core = core_with(text);
+        core.machine.kernel_entry = 0xFFFF_0000;
+        let summary = core.run(0x100, 10_000).expect("runs");
+        assert_eq!(core.machine.reg(8), 1);
+        assert_eq!(core.machine.reg(9), 77);
+        assert_eq!(core.machine.mode, Mode::User);
+        assert_eq!(summary.stats.syscalls, 1);
+        assert!(summary.stats.kernel_cycles > 0);
+    }
+
+    #[test]
+    fn unmapped_fetch_is_an_error() {
+        let mut core = core_with(vec![(
+            0x0,
+            Inst::Jump {
+                target: 0xdead_0000,
+            },
+        )]);
+        let err = core.run(0x0, 10_000).unwrap_err();
+        assert!(matches!(err, SimError::UnmappedFetch { .. }));
+    }
+
+    #[test]
+    fn cycle_budget_is_enforced() {
+        // Infinite loop.
+        let mut a = Assembler::new(0x0);
+        let top = a.here();
+        a.branch_to(Cond::Eq, 0, 0, top);
+        let mut core = core_with(a.finish());
+        let err = core.run(0x0, 500).unwrap_err();
+        assert!(matches!(err, SimError::CycleBudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn fence_orders_execution() {
+        let mut a = Assembler::new(0x0);
+        a.movi(1, 0x8000);
+        a.push(Inst::Fence);
+        a.load(2, 1, 0);
+        a.push(Inst::Halt);
+        let mut core = core_with(a.finish());
+        core.machine.mem.write_u64(0x8000, 5);
+        core.run(0x0, 10_000).expect("runs");
+        assert_eq!(core.machine.reg(2), 5);
+    }
+
+    #[test]
+    fn clflush_evicts() {
+        let mut a = Assembler::new(0x0);
+        a.movi(1, 0x8000);
+        a.load(2, 1, 0); // fill
+        a.push(Inst::CacheFlush { base: 1, offset: 0 });
+        a.push(Inst::Halt);
+        let mut core = core_with(a.finish());
+        core.run(0x0, 10_000).expect("runs");
+        assert!(!core.mem.probe_any(0x8000));
+    }
+
+    #[test]
+    fn khook_redirect_is_followed() {
+        struct Redirector;
+        impl HookHandler for Redirector {
+            fn on_hook(&mut self, id: u16, m: &mut Machine) -> crate::hooks::HookResult {
+                m.set_reg(20, u64::from(id));
+                crate::hooks::HookResult {
+                    extra_cycles: 3,
+                    action: HookAction::Redirect(0x9000),
+                }
+            }
+        }
+        let mut a = Assembler::new(0x0);
+        a.push(Inst::KHook { id: 42 });
+        a.movi(21, 1); // skipped by redirect
+        let mut text = a.finish();
+        let mut b = Assembler::new(0x9000);
+        b.movi(22, 2);
+        b.push(Inst::Halt);
+        text.extend(b.finish());
+
+        let mut machine = Machine::new();
+        machine.load_text(text);
+        let mut core = Core::new(
+            CoreConfig::paper_default(),
+            machine,
+            MemoryHierarchy::new(HierarchyConfig::paper_default()),
+            Box::new(UnsafePolicy::new()),
+            Box::new(Redirector),
+        );
+        core.run(0x0, 10_000).expect("runs");
+        assert_eq!(core.machine.reg(20), 42);
+        assert_eq!(core.machine.reg(21), 0);
+        assert_eq!(core.machine.reg(22), 2);
+    }
+
+    #[test]
+    fn fence_policy_blocks_transient_side_effects() {
+        use crate::policy::FencePolicy;
+        // Same gadget as the transient test, but under FENCE the secret
+        // line must stay cold.
+        let secret_addr = 0x9000u64;
+        let bound_ptr = 0xA000u64;
+        let mut a = Assembler::new(0x6000);
+        a.movi(1, bound_ptr);
+        let skip = a.new_label();
+        a.load(2, 1, 0);
+        a.load(3, 2, 0);
+        a.branch(Cond::Geu, 10, 3, skip);
+        a.movi(5, secret_addr);
+        a.load(6, 5, 0);
+        a.bind(skip);
+        a.push(Inst::Halt);
+
+        let mut machine = Machine::new();
+        machine.load_text(a.finish());
+        machine.mem.write_u64(bound_ptr, bound_ptr + 0x100);
+        machine.mem.write_u64(bound_ptr + 0x100, 100);
+        machine.mem.write_u64(secret_addr, 0x5ec7e7);
+        let mut core = Core::new(
+            CoreConfig::paper_default(),
+            machine,
+            MemoryHierarchy::new(HierarchyConfig::paper_default()),
+            Box::new(FencePolicy::new()),
+            Box::new(NullHooks),
+        );
+
+        for _ in 0..6 {
+            core.machine.set_reg(10, 0);
+            core.run(0x6000, 100_000).expect("training run");
+        }
+        core.mem.flush(bound_ptr);
+        core.mem.flush(bound_ptr + 0x100);
+        core.mem.flush(secret_addr);
+        core.machine.set_reg(10, 200);
+        core.run(0x6000, 100_000).expect("attack run");
+
+        assert!(
+            !core.mem.probe_any(secret_addr),
+            "FENCE must prevent the transient fill"
+        );
+        assert!(core.policy().counters().blocked_fence > 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Simulation statistics collected by the core.
+
+/// Counters accumulated while the pipeline runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Cycles spent while the committed mode was kernel.
+    pub kernel_cycles: u64,
+    /// Cycles spent while the committed mode was user.
+    pub user_cycles: u64,
+    /// Instructions retired.
+    pub committed_insts: u64,
+    /// Loads retired.
+    pub committed_loads: u64,
+    /// Stores retired.
+    pub committed_stores: u64,
+    /// Conditional branches retired.
+    pub committed_branches: u64,
+    /// Control-flow squashes (branch, indirect, or return mispredictions).
+    pub squashes: u64,
+    /// Instructions discarded by squashes.
+    pub squashed_insts: u64,
+    /// Loads that issued a memory access speculatively and were later
+    /// squashed — the transient accesses that leave covert-channel state.
+    pub transient_loads_issued: u64,
+    /// Syscall instructions retired.
+    pub syscalls: u64,
+    /// Loads that were blocked at least once by the speculation policy.
+    pub loads_fenced: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle over the whole run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles spent in the kernel.
+    pub fn kernel_time_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.kernel_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Policy-blocked loads per thousand committed instructions
+    /// (the "fences per kilo instruction" metric of §9.2).
+    pub fn fences_per_kilo_inst(&self) -> f64 {
+        if self.committed_insts == 0 {
+            0.0
+        } else {
+            self.loads_fenced as f64 * 1000.0 / self.committed_insts as f64
+        }
+    }
+
+    /// Difference of two snapshots (for region-of-interest measurement).
+    pub fn delta_since(&self, earlier: &SimStats) -> SimStats {
+        SimStats {
+            cycles: self.cycles - earlier.cycles,
+            kernel_cycles: self.kernel_cycles - earlier.kernel_cycles,
+            user_cycles: self.user_cycles - earlier.user_cycles,
+            committed_insts: self.committed_insts - earlier.committed_insts,
+            committed_loads: self.committed_loads - earlier.committed_loads,
+            committed_stores: self.committed_stores - earlier.committed_stores,
+            committed_branches: self.committed_branches - earlier.committed_branches,
+            squashes: self.squashes - earlier.squashes,
+            squashed_insts: self.squashed_insts - earlier.squashed_insts,
+            transient_loads_issued: self.transient_loads_issued - earlier.transient_loads_issued,
+            syscalls: self.syscalls - earlier.syscalls,
+            loads_fenced: self.loads_fenced - earlier.loads_fenced,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_fractions() {
+        let s = SimStats {
+            cycles: 100,
+            kernel_cycles: 60,
+            user_cycles: 40,
+            committed_insts: 250,
+            loads_fenced: 5,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.kernel_time_fraction() - 0.6).abs() < 1e-12);
+        assert!((s.fences_per_kilo_inst() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.kernel_time_fraction(), 0.0);
+        assert_eq!(s.fences_per_kilo_inst(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = SimStats {
+            cycles: 10,
+            committed_insts: 20,
+            ..Default::default()
+        };
+        let b = SimStats {
+            cycles: 25,
+            committed_insts: 70,
+            ..Default::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.cycles, 15);
+        assert_eq!(d.committed_insts, 50);
+    }
+}

@@ -1,0 +1,132 @@
+//! Prime+probe through the real pipeline: a Spectre-v1 transient load is
+//! detected by cache-set contention alone — no `Clflush` instruction and
+//! no flush calls between mistraining and the probe, i.e. the receiver
+//! that survives kernels which forbid flush instructions. Complements
+//! the flush+reload receivers the attack PoCs use.
+//!
+//! Layout discipline: probe lines are 4096 bytes apart, so with a
+//! 32 KB / 64 B / 8-way L1-D (64 sets × 64 B = 4096 B way stride) every
+//! probe line maps to set 0 — the signal set. The bound lives in set 1,
+//! the secret in set 2, the benign array base in set 3, keeping the
+//! architectural activity of the attack run out of the signal set.
+
+use persp_mem::covert::EvictionSet;
+use persp_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use persp_uarch::config::CoreConfig;
+use persp_uarch::hooks::NullHooks;
+use persp_uarch::isa::{AluOp, Assembler, Cond, Inst, Width};
+use persp_uarch::machine::Machine;
+use persp_uarch::pipeline::Core;
+use persp_uarch::policy::{FencePolicy, SpecPolicy, UnsafePolicy};
+
+const BOUND_VA: u64 = 0x40_0040; // set 1: the bounds-check limit
+const SECRET_VA: u64 = 0x41_0080; // set 2: the victim's secret byte
+const ARR_BASE: u64 = 0x42_00C0; // set 3: the benign array the gadget indexes
+const PROBE_BASE: u64 = 0x50_0000; // probe lines (all alias into set 0)
+const SIGNAL_REGION: u64 = 0x80_0000; // attacker memory, way-stride aligned
+const EVICT_REGION: u64 = 0x81_0000; // second region, for evicting the bound
+
+/// The classic v1 victim: `if (idx < bound) leak(probe[arr[idx] * 4096])`.
+/// `idx` arrives in r20.
+fn victim_program() -> Vec<(u64, Inst)> {
+    let mut a = Assembler::new(0x1000);
+    a.movi(1, BOUND_VA);
+    a.load(2, 1, 0); // bound
+    let skip = a.new_label();
+    a.branch(Cond::Geu, 20, 2, skip); // architecturally skips when OOB
+    // In-bounds path — speculative on the attack run.
+    a.movi(3, ARR_BASE);
+    a.push(Inst::Alu { op: AluOp::Add, dst: 4, a: 3, b: 20 });
+    a.push(Inst::Load { dst: 5, base: 4, offset: 0, width: Width::B });
+    a.movi(6, 12); // log2(4096)
+    a.push(Inst::Alu { op: AluOp::Shl, dst: 7, a: 5, b: 6 });
+    a.movi(8, PROBE_BASE);
+    a.push(Inst::Alu { op: AluOp::Add, dst: 9, a: 8, b: 7 });
+    a.push(Inst::Load { dst: 10, base: 9, offset: 0, width: Width::Q });
+    a.bind(skip);
+    a.push(Inst::Halt);
+    a.finish()
+}
+
+fn fresh_core(policy: Box<dyn SpecPolicy>, secret: u8) -> Core {
+    let mut machine = Machine::new();
+    machine.load_text(victim_program());
+    machine.mem.write_u64(BOUND_VA, 8);
+    machine.mem.write_u64(SECRET_VA, u64::from(secret));
+    machine.mem.write_u64(ARR_BASE, 0x30); // benign training byte
+    Core::new(
+        CoreConfig::paper_default(),
+        machine,
+        MemoryHierarchy::new(HierarchyConfig::no_prefetch()),
+        policy,
+        Box::new(NullHooks),
+    )
+}
+
+/// Mistrain (in-bounds runs teach the predictor "taken is rare"), prime,
+/// fire the out-of-bounds run, and return whether the signal set saw a
+/// fill. Everything between prime and probe is plain loads.
+fn attack_signals(policy: Box<dyn SpecPolicy>, secret: u8) -> bool {
+    let mut core = fresh_core(policy, secret);
+
+    // Phase 1: train with an in-bounds index (architectural gadget runs
+    // touch set 0 benignly — that's fine, priming happens after).
+    for _ in 0..4 {
+        core.machine.set_reg(20, 0);
+        core.run(0x1000, 100_000).expect("training run");
+    }
+
+    // Phase 2: attacker primes the signal set and evicts the bound line
+    // from L1 with a second eviction set (no flush instructions).
+    let signal = EvictionSet::for_l1d(&core.mem, SIGNAL_REGION, PROBE_BASE);
+    let bound_evict = EvictionSet::for_l1d(&core.mem, EVICT_REGION, BOUND_VA);
+    bound_evict.prime(&mut core.mem);
+    signal.prime(&mut core.mem);
+    // The secret line is warm (set 2, untouched by either eviction set) —
+    // models the victim's own recent use of its data.
+    core.mem.read(SECRET_VA);
+    assert!(!signal.probe_evicted(&core.mem), "clean before the attack");
+
+    // Phase 3: out-of-bounds run. Architecturally the branch skips the
+    // gadget; speculatively the trained predictor falls through into it.
+    core.machine.set_reg(20, SECRET_VA.wrapping_sub(ARR_BASE)); // negative index, Add wraps
+    core.run(0x1000, 100_000).expect("attack run");
+    assert_eq!(core.machine.reg(10), 0, "the gadget never commits");
+
+    signal.probe_evicted(&core.mem)
+}
+
+#[test]
+fn transient_gadget_signals_through_prime_probe() {
+    assert!(
+        attack_signals(Box::new(UnsafePolicy::new()), 0x2B),
+        "unprotected: the transient probe touch evicts an attacker way"
+    );
+}
+
+#[test]
+fn fence_starves_the_prime_probe_receiver() {
+    assert!(
+        !attack_signals(Box::new(FencePolicy::new()), 0x2B),
+        "FENCE: the speculative probe load never issues, the set survives"
+    );
+}
+
+#[test]
+fn no_mistraining_means_no_signal() {
+    // Same machinery, but skip phase 1: the predictor has no history, so
+    // the first (and only) encounter resolves before the wrong path can
+    // run far — and the architectural path skips the gadget.
+    let mut core = fresh_core(Box::new(UnsafePolicy::new()), 0x2B);
+    let signal = EvictionSet::for_l1d(&core.mem, SIGNAL_REGION, PROBE_BASE);
+    let bound_evict = EvictionSet::for_l1d(&core.mem, EVICT_REGION, BOUND_VA);
+    bound_evict.prime(&mut core.mem);
+    signal.prime(&mut core.mem);
+    core.mem.read(SECRET_VA);
+    core.machine.set_reg(20, SECRET_VA.wrapping_sub(ARR_BASE)); // negative index, Add wraps
+    core.run(0x1000, 100_000).expect("runs");
+    assert!(
+        !signal.probe_evicted(&core.mem),
+        "untrained branch: no transient window into the gadget"
+    );
+}

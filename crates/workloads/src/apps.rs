@@ -1,0 +1,170 @@
+//! Datacenter application models (Figure 9.3): request-serving loops for
+//! httpd, nginx, memcached, and redis.
+//!
+//! Each application is modelled as the syscall sequence one request
+//! triggers plus user-mode compute, with the compute calibrated so the
+//! kernel-time fraction lands near the paper's measurements (50 % httpd,
+//! 65 % nginx, 65 % memcached, 53 % redis — Chapter 7). Clients and the
+//! loopback interface are abstracted into the recv/send steps, matching
+//! the paper's worst-case-for-Perspective setup where I/O never
+//! bottlenecks.
+
+use crate::spec::{SyscallStep, Workload};
+use persp_kernel::syscalls::Sysno;
+
+fn step(sys: Sysno, arg0: u64, arg2: u64) -> SyscallStep {
+    SyscallStep::new(sys, arg0, arg2)
+}
+
+/// Startup syscalls a server binary performs before serving (heap setup,
+/// config loading, socket creation) — part of its static syscall profile.
+fn server_startup() -> Vec<SyscallStep> {
+    vec![
+        step(Sysno::Brk, 0, 0),
+        step(Sysno::Mmap, 8, 0),
+        step(Sysno::Open, 0, 0),
+        step(Sysno::Fstat, 0, 0),
+        step(Sysno::Read, 3, 16),
+        step(Sysno::Close, 3, 0),
+        step(Sysno::Socket, 0, 0),
+        step(Sysno::Bind, 0, 0),
+        step(Sysno::Listen, 0, 0),
+        step(Sysno::EpollCreate, 0, 0),
+        step(Sysno::EpollCtl, 0, 0),
+        step(Sysno::Mprotect, 0, 0),
+        step(Sysno::Getpid, 0, 0),
+        step(Sysno::ClockGettime, 0, 0),
+    ]
+}
+
+/// A datacenter application model.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// The request-serving workload (one iteration = one request).
+    pub workload: Workload,
+    /// The kernel-time fraction the paper measured for this app.
+    pub paper_kernel_frac: f64,
+    /// The paper's UNSAFE-baseline throughput (requests/second), for
+    /// EXPERIMENTS.md comparison.
+    pub paper_baseline_rps: f64,
+}
+
+/// All four applications.
+pub fn apps() -> Vec<App> {
+    vec![
+        App {
+            // Apache httpd: accept, read request, stat+open+read the file,
+            // write the response, close, wait for the next event.
+            workload: Workload {
+                name: "httpd",
+                startup_steps: server_startup(),
+                steps: vec![
+                    step(Sysno::Accept, 0, 0),
+                    step(Sysno::Recv, 4, 16),
+                    step(Sysno::Stat, 0, 0),
+                    step(Sysno::Open, 0, 0),
+                    step(Sysno::Read, 5, 96),
+                    step(Sysno::Write, 4, 96),
+                    step(Sysno::Close, 5, 0),
+                    step(Sysno::Poll, 16, 0),
+                ],
+                iters: 12,
+                user_work: 11000,
+            },
+            paper_kernel_frac: 0.50,
+            paper_baseline_rps: 11_500.0,
+        },
+        App {
+            // nginx: event loop + zero-copy-ish send path.
+            workload: Workload {
+                name: "nginx",
+                startup_steps: server_startup(),
+                steps: vec![
+                    step(Sysno::EpollWait, 32, 0),
+                    step(Sysno::Accept, 0, 0),
+                    step(Sysno::Recv, 4, 16),
+                    step(Sysno::Stat, 0, 0),
+                    step(Sysno::Open, 0, 0),
+                    step(Sysno::Read, 5, 64),
+                    step(Sysno::Send, 4, 64),
+                    step(Sysno::Close, 5, 0),
+                ],
+                iters: 12,
+                user_work: 7000,
+            },
+            paper_kernel_frac: 0.65,
+            paper_baseline_rps: 18_000.0,
+        },
+        App {
+            // memcached: epoll loop with small get/set packets.
+            workload: Workload {
+                name: "memcached",
+                startup_steps: server_startup(),
+                steps: vec![
+                    step(Sysno::EpollWait, 16, 0),
+                    step(Sysno::Recv, 4, 8),
+                    step(Sysno::Send, 4, 8),
+                ],
+                iters: 25,
+                user_work: 800,
+            },
+            paper_kernel_frac: 0.65,
+            paper_baseline_rps: 55_000.0,
+        },
+        App {
+            // redis: single-threaded event loop; slightly more userspace
+            // work per command than memcached.
+            workload: Workload {
+                name: "redis",
+                startup_steps: server_startup(),
+                steps: vec![
+                    step(Sysno::EpollWait, 16, 0),
+                    step(Sysno::Read, 4, 12),
+                    step(Sysno::Write, 4, 12),
+                ],
+                iters: 25,
+                user_work: 1900,
+            },
+            paper_kernel_frac: 0.53,
+            paper_baseline_rps: 40_700.0,
+        },
+    ]
+}
+
+/// Look up an app by name.
+pub fn by_name(name: &str) -> Option<App> {
+    apps().into_iter().find(|a| a.workload.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_apps_with_unique_names() {
+        let a = apps();
+        assert_eq!(a.len(), 4);
+        let names: Vec<&str> = a.iter().map(|x| x.workload.name).collect();
+        assert_eq!(names, vec!["httpd", "nginx", "memcached", "redis"]);
+    }
+
+    #[test]
+    fn profiles_are_realistic() {
+        for app in apps() {
+            let p = app.workload.syscall_profile();
+            assert!(
+                p.len() >= 3,
+                "{} profile too small: {p:?}",
+                app.workload.name
+            );
+            assert!(app.workload.iters > 0);
+            assert!(app.paper_kernel_frac > 0.4 && app.paper_kernel_frac < 0.7);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("redis").is_some());
+        assert!(by_name("postgres").is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! The systematic study of transient execution vulnerabilities in the
+//! Linux kernel — Table 4.1 of the paper.
+//!
+//! Nine vulnerability classes across two attack primitives (unauthorized
+//! speculative data access à la Spectre v1, and speculative control-flow
+//! hijacking à la Spectre v2/RSB), annotated with whether each arises
+//! from an insufficient or misused mitigation.
+
+use perspective::taxonomy::Scenario;
+
+/// The attack primitive a vulnerability class enables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Primitive {
+    /// Unauthorized speculative data access (Spectre v1-like).
+    SpeculativeDataAccess,
+    /// Speculative control-flow hijacking (Spectre v2, RSB, and more).
+    ControlFlowHijack,
+}
+
+impl Primitive {
+    /// Table 4.1's first-column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Primitive::SpeculativeDataAccess => "Unauthorized speculative data access (Spectre v1)",
+            Primitive::ControlFlowHijack => {
+                "Speculative control-flow hijacking (Spectre v2, Spectre RSB, and more)"
+            }
+        }
+    }
+}
+
+/// Why the vulnerability exists despite deployed mitigations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MitigationGap {
+    /// No prior mitigation applied (new gadget).
+    None,
+    /// Hardware mitigation proved insufficient.
+    InsufficientHardware,
+    /// Software mitigation proved insufficient.
+    InsufficientSoftware,
+    /// A mitigation existed but was misused / misconfigured.
+    Misuse,
+}
+
+impl MitigationGap {
+    /// Table 4.1's second-column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MitigationGap::None => "n/a",
+            MitigationGap::InsufficientHardware => "Hardware",
+            MitigationGap::InsufficientSoftware => "Software",
+            MitigationGap::Misuse => "Misuse",
+        }
+    }
+}
+
+/// One row of Table 4.1.
+#[derive(Debug, Clone)]
+pub struct CveRow {
+    /// Row number in the paper.
+    pub row: u8,
+    /// Attack primitive enabled.
+    pub primitive: Primitive,
+    /// Mitigation gap.
+    pub gap: MitigationGap,
+    /// CVE identifiers / papers.
+    pub references: &'static [&'static str],
+    /// Description.
+    pub description: &'static str,
+    /// Where in the kernel the vulnerability originates.
+    pub origin: &'static str,
+}
+
+impl CveRow {
+    /// Which taxonomy scenarios this primitive can serve as a building
+    /// block for. Data-access primitives drive active attacks directly;
+    /// hijack primitives are the passive-attack enabler, and can also
+    /// assist active ones.
+    pub fn scenarios(&self) -> &'static [Scenario] {
+        match self.primitive {
+            Primitive::SpeculativeDataAccess => &[Scenario::Active],
+            Primitive::ControlFlowHijack => &[Scenario::Active, Scenario::Passive],
+        }
+    }
+}
+
+/// The full Table 4.1 dataset.
+pub fn table_4_1() -> Vec<CveRow> {
+    vec![
+        CveRow {
+            row: 1,
+            primitive: Primitive::SpeculativeDataAccess,
+            gap: MitigationGap::None,
+            references: &["CVE-2022-27223"],
+            description: "Array index is not validated",
+            origin: "Xilinx USB Driver",
+        },
+        CveRow {
+            row: 2,
+            primitive: Primitive::SpeculativeDataAccess,
+            gap: MitigationGap::Misuse,
+            references: &["CVE-2019-15902"],
+            description: "Reintroduced Spectre vulnerabilities in backporting",
+            origin: "ptrace",
+        },
+        CveRow {
+            row: 3,
+            primitive: Primitive::SpeculativeDataAccess,
+            gap: MitigationGap::None,
+            references: &[
+                "CVE-2021-31829",
+                "CVE-2019-7308",
+                "CVE-2020-27170",
+                "CVE-2020-27171",
+                "CVE-2021-29155",
+            ],
+            description: "Out-of-bounds speculation on pointer arithmetic",
+            origin: "eBPF verifier",
+        },
+        CveRow {
+            row: 4,
+            primitive: Primitive::SpeculativeDataAccess,
+            gap: MitigationGap::None,
+            references: &["CVE-2021-33624", "Kirzner & Morrison, USENIX Sec'21"],
+            description: "Speculative type confusion",
+            origin: "eBPF verifier",
+        },
+        CveRow {
+            row: 5,
+            primitive: Primitive::ControlFlowHijack,
+            gap: MitigationGap::InsufficientHardware,
+            references: &[
+                "CVE-2022-0001",
+                "CVE-2022-0002",
+                "CVE-2022-23960",
+                "BHI, USENIX Sec'22",
+            ],
+            description: "Branch history injection",
+            origin: "Indirect calls and jumps",
+        },
+        CveRow {
+            row: 6,
+            primitive: Primitive::ControlFlowHijack,
+            gap: MitigationGap::InsufficientSoftware,
+            references: &["CVE-2021-26401"],
+            description: "LFENCE/JMP is insufficient on AMD",
+            origin: "Indirect calls and jumps",
+        },
+        CveRow {
+            row: 7,
+            primitive: Primitive::ControlFlowHijack,
+            gap: MitigationGap::InsufficientSoftware,
+            references: &[
+                "CVE-2022-29900",
+                "CVE-2022-29901",
+                "Retbleed, USENIX Sec'22",
+            ],
+            description: "Retbleed",
+            origin: "Retpoline",
+        },
+        CveRow {
+            row: 8,
+            primitive: Primitive::ControlFlowHijack,
+            gap: MitigationGap::Misuse,
+            references: &["CVE-2022-2196"],
+            description: "Missing retpolines or IBPB",
+            origin: "KVM",
+        },
+        CveRow {
+            row: 9,
+            primitive: Primitive::ControlFlowHijack,
+            gap: MitigationGap::Misuse,
+            references: &[
+                "CVE-2019-18660",
+                "CVE-2020-10767",
+                "CVE-2022-23824",
+                "CVE-2023-1998",
+            ],
+            description: "Improper use of hardware mitigations",
+            origin: "Indirect calls and jumps",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_rows_in_order() {
+        let t = table_4_1();
+        assert_eq!(t.len(), 9);
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(usize::from(r.row), i + 1);
+            assert!(!r.references.is_empty());
+            assert!(!r.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn primitive_split_matches_the_paper() {
+        let t = table_4_1();
+        let data = t
+            .iter()
+            .filter(|r| r.primitive == Primitive::SpeculativeDataAccess)
+            .count();
+        let hijack = t
+            .iter()
+            .filter(|r| r.primitive == Primitive::ControlFlowHijack)
+            .count();
+        assert_eq!(data, 4, "rows 1-4");
+        assert_eq!(hijack, 5, "rows 5-9");
+    }
+
+    #[test]
+    fn hijack_primitives_enable_passive_attacks() {
+        for r in table_4_1() {
+            match r.primitive {
+                Primitive::SpeculativeDataAccess => {
+                    assert_eq!(r.scenarios(), &[Scenario::Active]);
+                }
+                Primitive::ControlFlowHijack => {
+                    assert!(r.scenarios().contains(&Scenario::Passive));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_printable() {
+        for r in table_4_1() {
+            assert!(!r.primitive.label().is_empty());
+            assert!(!r.gap.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Workloads for the Perspective evaluation: the LEBench microbenchmark
+//! suite, the four datacenter applications, the CVE study of Table 4.1,
+//! and the measurement harness that runs them under every defense scheme.
+//!
+//! The measurement protocol mirrors the paper (Chapter 7): each workload
+//! gets a warmup run — which doubles as the dynamic-ISV profiling trace —
+//! followed by a measured region of interest; datacenter throughput is
+//! reported as requests/second normalized to the UNSAFE baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod cve_study;
+pub mod lebench;
+pub mod multiproc;
+pub mod runner;
+pub mod spec;
+
+pub use apps::App;
+pub use runner::{
+    measure, measure_cfg, measure_per_syscall, measure_schemes, overhead, Measurement, SimInstance,
+};
+pub use spec::{ArgVal, SyscallStep, Workload};

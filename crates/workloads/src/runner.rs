@@ -1,0 +1,389 @@
+//! The measurement harness: builds a simulated machine for a scheme, runs
+//! a workload's warmup + region of interest, and collects every statistic
+//! the evaluation chapters report.
+//!
+//! Protocol per (scheme, workload):
+//!
+//! 1. build kernel + process; for Perspective schemes the framework's
+//!    sink is wired into the allocators;
+//! 2. **warmup run** with call tracing enabled — this is both the cache/
+//!    predictor warmup and, for the PERSPECTIVE scheme, the dynamic-ISV
+//!    profiling run (§5.3's kernel-level tracing);
+//! 3. install the scheme's ISV (static from the declared syscall profile,
+//!    dynamic from the trace, ISV++ hardened with a bounded scan);
+//! 4. **ROI run**, measured as a statistics delta (LEBench methodology).
+
+use crate::spec::Workload;
+use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::kernel::{Kernel, SharedKernel};
+use persp_kernel::layout;
+use persp_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use persp_scanner::scanner::scan_bounded;
+use persp_uarch::config::CoreConfig;
+use persp_uarch::machine::Machine;
+use persp_uarch::pipeline::Core;
+use persp_uarch::stats::SimStats;
+use persp_uarch::Asid;
+use perspective::framework::Perspective;
+use perspective::hwcache::HwCacheStats;
+use perspective::isv::Isv;
+use perspective::policy::{FenceBreakdown, PerspectiveConfig, PerspectivePolicy};
+use perspective::scheme::Scheme;
+
+/// One measured region of interest.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Scheme measured.
+    pub scheme: Scheme,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Statistics delta over the ROI.
+    pub stats: SimStats,
+    /// Perspective fence attribution (ISV/DSV/unknown), when applicable.
+    pub fences: Option<FenceBreakdown>,
+    /// ISV-cache statistics, when applicable.
+    pub isv_cache: Option<HwCacheStats>,
+    /// DSVMT-cache statistics, when applicable.
+    pub dsvmt_cache: Option<HwCacheStats>,
+    /// Functions in the installed ISV (for Table 8.1), when applicable.
+    pub isv_funcs: Option<usize>,
+}
+
+impl Measurement {
+    /// ROI cycles.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Requests (or iterations) per second at the configured frequency.
+    pub fn rps(&self, requests: u64, freq_ghz: f64) -> f64 {
+        requests as f64 * freq_ghz * 1e9 / self.stats.cycles.max(1) as f64
+    }
+}
+
+/// A simulated machine instance for one scheme.
+pub struct SimInstance {
+    /// The core.
+    pub core: Core,
+    /// The kernel handle.
+    pub kernel: SharedKernel,
+    /// The framework (Perspective schemes only).
+    pub perspective: Option<Perspective>,
+    /// The workload process.
+    pub asid: Asid,
+    /// The scheme.
+    pub scheme: Scheme,
+}
+
+impl SimInstance {
+    /// Build an instance with a single workload process (cgroup 1).
+    pub fn new(scheme: Scheme, kcfg: KernelConfig) -> Self {
+        Self::with_config(scheme, kcfg, PerspectiveConfig::default())
+    }
+
+    /// Build with an explicit Perspective configuration (for the §9.2
+    /// ablations, e.g. disabling unknown-allocation blocking).
+    pub fn with_config(scheme: Scheme, kcfg: KernelConfig, pcfg: PerspectiveConfig) -> Self {
+        let perspective = scheme.is_perspective().then(Perspective::new);
+        let kernel = match &perspective {
+            Some(p) => Kernel::build(kcfg, p.sink()),
+            None => Kernel::build_unprotected(kcfg),
+        };
+        let shared = SharedKernel::new(kernel);
+        let mut machine = Machine::new();
+        shared.borrow().install(&mut machine);
+        let pid = shared.borrow_mut().create_process(1, &mut machine);
+        let asid = pid as Asid;
+        shared.borrow().set_current(asid, &mut machine);
+        let policy: Box<dyn persp_uarch::policy::SpecPolicy> = match &perspective {
+            Some(p) => Box::new(p.policy(pcfg)),
+            None => scheme.build_policy(None),
+        };
+        let core = Core::new(
+            CoreConfig::paper_default(),
+            machine,
+            MemoryHierarchy::new(HierarchyConfig::paper_default()),
+            policy,
+            Box::new(shared.clone()),
+        );
+        SimInstance {
+            core,
+            kernel: shared,
+            perspective,
+            asid,
+            scheme,
+        }
+    }
+
+    /// User text base of the workload process.
+    pub fn text_base(&self) -> u64 {
+        layout::user_text_base(u32::from(self.asid))
+    }
+
+    /// User data base of the workload process.
+    pub fn data_base(&self) -> u64 {
+        layout::user_data_base(u32::from(self.asid))
+    }
+
+    fn with_policy<R>(&mut self, f: impl FnOnce(&mut PerspectivePolicy) -> R) -> Option<R> {
+        self.core
+            .policy_mut()
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<PerspectivePolicy>())
+            .map(f)
+    }
+
+    fn policy_view<R>(&self, f: impl FnOnce(&PerspectivePolicy) -> R) -> Option<R> {
+        self.core
+            .policy()
+            .as_any()
+            .and_then(|a| a.downcast_ref::<PerspectivePolicy>())
+            .map(f)
+    }
+}
+
+/// The per-scheme ISV used for a workload: static from the declared
+/// profile, dynamic from the warmup trace, ISV++ audit-hardened.
+fn build_isv(
+    instance: &SimInstance,
+    workload: &Workload,
+    trace: &std::collections::HashSet<u64>,
+) -> Option<Isv> {
+    let kernel = instance.kernel.borrow();
+    let graph = &kernel.graph;
+    match instance.scheme {
+        Scheme::PerspectiveStatic => Some(Isv::static_for(graph, &workload.syscall_profile())),
+        Scheme::Perspective => Some(Isv::dynamic_from_trace(graph, trace)),
+        Scheme::PerspectivePlusPlus => {
+            let dynamic = Isv::dynamic_from_trace(graph, trace);
+            let report = scan_bounded(graph, dynamic.funcs(), |pc| {
+                instance.core.machine.inst_at(pc)
+            });
+            Some(dynamic.hardened_with_audit(graph, report.flagged_functions()))
+        }
+        _ => None,
+    }
+}
+
+/// Run the full measurement protocol for one (scheme, workload) pair.
+///
+/// # Panics
+///
+/// Panics if the simulation errors (generated workloads are well-formed,
+/// so an error is a harness bug).
+pub fn measure(scheme: Scheme, kcfg: KernelConfig, workload: &Workload) -> Measurement {
+    measure_cfg(scheme, kcfg, workload, PerspectiveConfig::default())
+}
+
+/// [`measure`] with an explicit Perspective configuration (§9.2 ablations).
+pub fn measure_cfg(
+    scheme: Scheme,
+    kcfg: KernelConfig,
+    workload: &Workload,
+    pcfg: PerspectiveConfig,
+) -> Measurement {
+    let mut instance = SimInstance::with_config(scheme, kcfg, pcfg);
+    let text = instance.text_base();
+    let data = instance.data_base();
+
+    // Warmup + dynamic-ISV profiling run.
+    let warm_prog = workload.compile(text, data);
+    instance.core.machine.load_text(warm_prog);
+    instance.core.enable_call_trace();
+    instance
+        .core
+        .run(text, 80_000_000)
+        .unwrap_or_else(|e| panic!("warmup of {} under {scheme} failed: {e}", workload.name));
+    let trace = instance.core.take_call_trace();
+
+    // Install the scheme's view.
+    let isv = build_isv(&instance, workload, &trace);
+    let isv_funcs = isv.as_ref().map(|v| v.num_funcs());
+    if let (Some(p), Some(view)) = (&instance.perspective, isv) {
+        p.install_isv(instance.asid, view);
+    }
+
+    // Reset measurement state.
+    instance.core.policy_mut().reset_counters();
+    instance.with_policy(|p| p.reset_measurement());
+
+    // Region of interest (same program, measured as a delta).
+    let before = instance.core.stats();
+    instance
+        .core
+        .run(text, 80_000_000)
+        .unwrap_or_else(|e| panic!("ROI of {} under {scheme} failed: {e}", workload.name));
+    let stats = instance.core.stats().delta_since(&before);
+
+    Measurement {
+        scheme,
+        workload: workload.name,
+        stats,
+        fences: instance.policy_view(|p| p.fence_breakdown()),
+        isv_cache: instance.policy_view(|p| p.isv_cache_stats()),
+        dsvmt_cache: instance.policy_view(|p| p.dsvmt_cache_stats()),
+        isv_funcs,
+    }
+}
+
+/// [`measure`] under per-syscall ISV enforcement (§11 future work): a
+/// static per-syscall view is installed for every syscall in the
+/// workload's profile and the policy switches views at dispatch,
+/// flushing the ISV cache on each switch. Only meaningful for
+/// Perspective schemes.
+pub fn measure_per_syscall(scheme: Scheme, kcfg: KernelConfig, workload: &Workload) -> Measurement {
+    let pcfg = PerspectiveConfig {
+        per_syscall_isv: true,
+        ..PerspectiveConfig::default()
+    };
+    let mut instance = SimInstance::with_config(scheme, kcfg, pcfg);
+    let text = instance.text_base();
+    let data = instance.data_base();
+
+    let warm_prog = workload.compile(text, data);
+    instance.core.machine.load_text(warm_prog);
+    instance
+        .core
+        .run(text, 80_000_000)
+        .unwrap_or_else(|e| panic!("warmup of {} under {scheme} failed: {e}", workload.name));
+
+    // One static closure per profile syscall, switched at dispatch.
+    let mut total_funcs = 0;
+    if let Some(p) = &instance.perspective {
+        let kernel = instance.kernel.borrow();
+        for &sys in &workload.syscall_profile() {
+            let view = Isv::static_for(&kernel.graph, &[sys]);
+            total_funcs += view.num_funcs();
+            p.install_isv_per_syscall(instance.asid, sys as u16, view);
+        }
+        drop(kernel);
+        // Fallback for code outside any syscall (none in our workloads,
+        // but the resolution path requires the process-wide entry).
+        let kernel = instance.kernel.borrow();
+        let profile = workload.syscall_profile();
+        let union = Isv::static_for(&kernel.graph, &profile);
+        drop(kernel);
+        p.install_isv(instance.asid, union);
+    }
+
+    instance.core.policy_mut().reset_counters();
+    instance.with_policy(|p| p.reset_measurement());
+
+    let before = instance.core.stats();
+    instance
+        .core
+        .run(text, 80_000_000)
+        .unwrap_or_else(|e| panic!("ROI of {} under {scheme} failed: {e}", workload.name));
+    let stats = instance.core.stats().delta_since(&before);
+
+    Measurement {
+        scheme,
+        workload: workload.name,
+        stats,
+        fences: instance.policy_view(|p| p.fence_breakdown()),
+        isv_cache: instance.policy_view(|p| p.isv_cache_stats()),
+        dsvmt_cache: instance.policy_view(|p| p.dsvmt_cache_stats()),
+        isv_funcs: Some(total_funcs),
+    }
+}
+
+/// Measure a workload under every scheme in `schemes`; returns
+/// measurements in the same order.
+pub fn measure_schemes(
+    schemes: &[Scheme],
+    kcfg: KernelConfig,
+    workload: &Workload,
+) -> Vec<Measurement> {
+    schemes
+        .iter()
+        .map(|&s| measure(s, kcfg, workload))
+        .collect()
+}
+
+/// Normalized overhead of `m` versus a baseline measurement.
+pub fn overhead(m: &Measurement, baseline: &Measurement) -> f64 {
+    m.stats.cycles as f64 / baseline.stats.cycles.max(1) as f64 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lebench;
+
+    fn kcfg() -> KernelConfig {
+        KernelConfig::test_small()
+    }
+
+    #[test]
+    fn getpid_measures_under_all_main_schemes() {
+        let w = lebench::by_name("getpid").unwrap();
+        let ms = measure_schemes(Scheme::MAIN, kcfg(), &w);
+        for m in &ms {
+            assert!(m.stats.cycles > 0, "{}: no cycles", m.scheme);
+            assert_eq!(m.stats.syscalls, w.total_syscalls());
+        }
+        // Ordering: UNSAFE fastest, FENCE slowest of the five.
+        let unsafe_c = ms[0].stats.cycles;
+        let fence_c = ms[1].stats.cycles;
+        assert!(fence_c > unsafe_c, "FENCE {fence_c} vs UNSAFE {unsafe_c}");
+    }
+
+    #[test]
+    fn perspective_measurement_carries_rich_stats() {
+        let w = lebench::by_name("small-read").unwrap();
+        let m = measure(Scheme::Perspective, kcfg(), &w);
+        assert!(m.fences.is_some());
+        assert!(m.isv_cache.is_some());
+        assert!(m.dsvmt_cache.is_some());
+        assert!(m.isv_funcs.unwrap() > 0);
+        let isv = m.isv_cache.unwrap();
+        assert!(isv.hits + isv.misses > 0, "the ISV cache was exercised");
+    }
+
+    #[test]
+    fn baseline_measurement_has_no_perspective_stats() {
+        let w = lebench::by_name("getpid").unwrap();
+        let m = measure(Scheme::Unsafe, kcfg(), &w);
+        assert!(m.fences.is_none());
+        assert!(m.isv_cache.is_none());
+    }
+
+    #[test]
+    fn dynamic_isv_is_smaller_than_static() {
+        let w = lebench::by_name("small-read").unwrap();
+        let m_static = measure(Scheme::PerspectiveStatic, kcfg(), &w);
+        let m_dyn = measure(Scheme::Perspective, kcfg(), &w);
+        assert!(
+            m_dyn.isv_funcs.unwrap() < m_static.isv_funcs.unwrap(),
+            "dynamic {} vs static {}",
+            m_dyn.isv_funcs.unwrap(),
+            m_static.isv_funcs.unwrap()
+        );
+    }
+
+    #[test]
+    fn fence_overhead_exceeds_perspective_overhead_on_select() {
+        let w = lebench::by_name("select").unwrap();
+        let ms = measure_schemes(
+            &[Scheme::Unsafe, Scheme::Fence, Scheme::Perspective],
+            kcfg(),
+            &w,
+        );
+        let fence_ov = overhead(&ms[1], &ms[0]);
+        let persp_ov = overhead(&ms[2], &ms[0]);
+        assert!(
+            fence_ov > persp_ov,
+            "FENCE {fence_ov:.3} must cost more than Perspective {persp_ov:.3}"
+        );
+        assert!(fence_ov > 0.10, "select is FENCE's bad case: {fence_ov:.3}");
+    }
+
+    #[test]
+    fn rps_conversion() {
+        let w = lebench::by_name("getpid").unwrap();
+        let m = measure(Scheme::Unsafe, kcfg(), &w);
+        let rps = m.rps(100, 2.0);
+        assert!(rps > 0.0);
+        assert!((m.rps(200, 2.0) / rps - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! Workload specifications: syscall step sequences compiled into µISA
+//! user programs.
+
+use persp_kernel::syscalls::Sysno;
+use persp_uarch::isa::{
+    AluOp, Assembler, Cond, Inst, Reg, REG_ARG0, REG_ARG1, REG_ARG2, REG_SYSNO,
+};
+use std::collections::BTreeSet;
+
+/// A syscall argument value, resolved against the process's data window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgVal {
+    /// A literal.
+    Imm(u64),
+    /// `user_data_base + offset` (a pointer into the process's memory).
+    Buf(u64),
+}
+
+impl ArgVal {
+    fn resolve(self, data_base: u64) -> u64 {
+        match self {
+            ArgVal::Imm(v) => v,
+            ArgVal::Buf(off) => data_base + off,
+        }
+    }
+}
+
+/// One syscall invocation within a workload iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallStep {
+    /// The syscall.
+    pub sys: Sysno,
+    /// `r10`.
+    pub arg0: ArgVal,
+    /// `r11`.
+    pub arg1: ArgVal,
+    /// `r12`.
+    pub arg2: ArgVal,
+}
+
+impl SyscallStep {
+    /// A step with immediate arguments `(arg0, len)` and the standard
+    /// buffer pointer in `arg1`.
+    pub fn new(sys: Sysno, arg0: u64, arg2: u64) -> Self {
+        SyscallStep {
+            sys,
+            arg0: ArgVal::Imm(arg0),
+            arg1: ArgVal::Buf(0x2000),
+            arg2: ArgVal::Imm(arg2),
+        }
+    }
+}
+
+/// A workload: named sequence of steps repeated `iters` times with
+/// optional user-mode compute between iterations.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name.
+    pub name: &'static str,
+    /// Steps executed once at startup (socket setup, mapping the heap,
+    /// loading configuration — the part of a real binary's syscall
+    /// profile that static analysis must also cover).
+    pub startup_steps: Vec<SyscallStep>,
+    /// Steps of one iteration.
+    pub steps: Vec<SyscallStep>,
+    /// Iterations per run.
+    pub iters: u64,
+    /// User-mode ALU-loop iterations per workload iteration (models
+    /// application compute; calibrates the kernel-time fraction).
+    pub user_work: u64,
+}
+
+impl Workload {
+    /// The distinct syscalls this workload uses — its seccomp-style
+    /// profile, the input to static ISV generation.
+    pub fn syscall_profile(&self) -> Vec<Sysno> {
+        let set: BTreeSet<Sysno> = self
+            .startup_steps
+            .iter()
+            .chain(&self.steps)
+            .map(|s| s.sys)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Compile into a µISA program at `base`, with buffers resolved
+    /// against `data_base`. Register use: `r6` iteration counter, `r7`
+    /// bound, `r8` user-work counter.
+    pub fn compile(&self, base: u64, data_base: u64) -> Vec<(u64, Inst)> {
+        const CTR: Reg = 6;
+        const BOUND: Reg = 7;
+        const WORK: Reg = 8;
+        let mut asm = Assembler::new(base);
+        for step in &self.startup_steps {
+            asm.movi(REG_ARG0, step.arg0.resolve(data_base));
+            asm.movi(REG_ARG1, step.arg1.resolve(data_base));
+            asm.movi(REG_ARG2, step.arg2.resolve(data_base));
+            asm.movi(REG_SYSNO, step.sys as u16 as u64);
+            asm.push(Inst::Syscall);
+        }
+        asm.movi(CTR, 0);
+        asm.movi(BOUND, self.iters);
+        let loop_top = asm.here();
+        if self.user_work > 0 {
+            asm.movi(WORK, self.user_work);
+            let wtop = asm.here();
+            asm.alui(AluOp::Sub, WORK, WORK, 1);
+            asm.branch_to(Cond::Ne, WORK, 0, wtop);
+        }
+        for step in &self.steps {
+            asm.movi(REG_ARG0, step.arg0.resolve(data_base));
+            asm.movi(REG_ARG1, step.arg1.resolve(data_base));
+            asm.movi(REG_ARG2, step.arg2.resolve(data_base));
+            asm.movi(REG_SYSNO, step.sys as u16 as u64);
+            asm.push(Inst::Syscall);
+        }
+        asm.alui(AluOp::Add, CTR, CTR, 1);
+        asm.branch_to(Cond::Ltu, CTR, BOUND, loop_top);
+        asm.push(Inst::Halt);
+        asm.finish()
+    }
+
+    /// Total syscalls one run performs.
+    pub fn total_syscalls(&self) -> u64 {
+        self.startup_steps.len() as u64 + self.iters * self.steps.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Workload {
+        Workload {
+            name: "sample",
+            startup_steps: vec![SyscallStep::new(Sysno::Open, 0, 0)],
+            steps: vec![
+                SyscallStep::new(Sysno::Read, 3, 8),
+                SyscallStep::new(Sysno::Write, 3, 8),
+            ],
+            iters: 5,
+            user_work: 10,
+        }
+    }
+
+    #[test]
+    fn profile_is_sorted_and_deduped() {
+        let mut w = sample();
+        w.steps.push(SyscallStep::new(Sysno::Read, 3, 8));
+        assert_eq!(
+            w.syscall_profile(),
+            vec![Sysno::Read, Sysno::Write, Sysno::Open],
+            "ordered by syscall number"
+        );
+    }
+
+    #[test]
+    fn compile_emits_syscalls_and_loop() {
+        let w = sample();
+        let prog = w.compile(0x1000, 0x10_0000);
+        let syscalls = prog
+            .iter()
+            .filter(|(_, i)| matches!(i, Inst::Syscall))
+            .count();
+        assert_eq!(syscalls, 3, "one static site per step + startup");
+        assert!(matches!(prog.last().unwrap().1, Inst::Halt));
+        assert_eq!(w.total_syscalls(), 11);
+    }
+
+    #[test]
+    fn buffer_args_resolve_against_data_base() {
+        let s = SyscallStep::new(Sysno::Read, 1, 2);
+        assert_eq!(s.arg1.resolve(0x5000), 0x7000);
+        assert_eq!(ArgVal::Imm(9).resolve(0x5000), 9);
+    }
+}

@@ -1,0 +1,131 @@
+//! Consistency of the DSVMT tree mirror with the software DSV table: the
+//! hardware-facing metadata structure (§6.2's three-level tree), fed by
+//! the same allocation-event stream through a tee, must agree with the
+//! authoritative ownership table on every in-view/out-of-view decision.
+
+use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::kernel::{Kernel, SharedKernel};
+use persp_kernel::layout;
+use persp_kernel::sink::TeeSink;
+use persp_kernel::syscalls::Sysno;
+use persp_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use persp_uarch::config::CoreConfig;
+use persp_uarch::isa::{Assembler, Inst, REG_ARG0, REG_SYSNO};
+use persp_uarch::machine::Machine;
+use persp_uarch::pipeline::Core;
+use persp_uarch::policy::UnsafePolicy;
+use perspective::dsv::{DsvClass, DsvTable};
+use perspective::dsvmt::DsvmtMirror;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+type SharedTee = Rc<RefCell<TeeSink<DsvTable, DsvmtMirror>>>;
+
+fn setup() -> (Core, SharedKernel, SharedTee, u16, u16) {
+    let tee: SharedTee =
+        Rc::new(RefCell::new(TeeSink::new(DsvTable::new(), DsvmtMirror::new())));
+    let kernel = Kernel::build(KernelConfig::test_small(), tee.clone());
+    let shared = SharedKernel::new(kernel);
+    let mut machine = Machine::new();
+    shared.borrow().install(&mut machine);
+    let a = shared.borrow_mut().create_process(1, &mut machine) as u16;
+    let b = shared.borrow_mut().create_process(2, &mut machine) as u16;
+    shared.borrow().set_current(a, &mut machine);
+    let core = Core::new(
+        CoreConfig::paper_default(),
+        machine,
+        MemoryHierarchy::new(HierarchyConfig::paper_default()),
+        Box::new(UnsafePolicy::new()),
+        Box::new(shared.clone()),
+    );
+    (core, shared, tee, a, b)
+}
+
+/// The tree must answer exactly `classify(va) ∈ {Owned, Shared}`.
+fn assert_agree(tee: &SharedTee, asid: u16, va: u64, what: &str) {
+    let mut t = tee.borrow_mut();
+    let table_says = t.a.classify(va, asid).speculation_allowed();
+    let tree_says = t.b.walk(asid, va).in_view;
+    assert_eq!(tree_says, table_says, "{what} at {va:#x} for asid {asid}");
+}
+
+#[test]
+fn tree_agrees_with_table_after_boot_and_process_creation() {
+    let (core, shared, tee, a, b) = setup();
+    let kernel = shared.borrow();
+    let proc_a = kernel.process(a).unwrap().clone();
+    let proc_b = kernel.process(b).unwrap().clone();
+    drop(kernel);
+    let _ = core;
+
+    // Shared boot-time regions.
+    for va in [
+        layout::CURRENT_TASK_PTR,
+        layout::SYSCALL_TABLE,
+        layout::OPS_TABLES + 40,
+        layout::SHARED_GLOBALS + 0x1000,
+    ] {
+        assert_agree(&tee, a, va, "shared region");
+        assert_agree(&tee, b, va, "shared region");
+    }
+    // Kernel-private region: out of both views, consistently.
+    assert_agree(&tee, a, layout::KDATA_KPRIV_BASE + 0x100, "kernel-private");
+    // Unknown region.
+    assert_agree(&tee, a, layout::KDATA_UNKNOWN_BASE + 0x100, "unknown");
+    // Each other's task structs: owned/foreign.
+    for &(asid, va) in &[
+        (a, proc_a.task_struct_va),
+        (a, proc_b.task_struct_va),
+        (b, proc_b.task_struct_va),
+        (b, proc_a.task_struct_va),
+    ] {
+        assert_agree(&tee, asid, va, "task struct");
+    }
+    // Spot-check the foreign case is genuinely foreign.
+    let mut t = tee.borrow_mut();
+    assert_eq!(t.a.classify(proc_b.task_struct_va, a), DsvClass::Foreign);
+    assert!(!t.b.walk(a, proc_b.task_struct_va).in_view);
+}
+
+#[test]
+fn tree_tracks_allocation_churn_during_execution() {
+    let (mut core, shared, tee, a, _b) = setup();
+    // Drive mmap/munmap/brk churn through the real syscall path.
+    let base = layout::user_text_base(u32::from(a));
+    let mut asm = Assembler::new(base);
+    for _ in 0..6 {
+        asm.movi(REG_ARG0, 4);
+        asm.movi(REG_SYSNO, Sysno::Mmap as u16 as u64);
+        asm.push(Inst::Syscall);
+        asm.movi(REG_SYSNO, Sysno::Brk as u16 as u64);
+        asm.push(Inst::Syscall);
+        asm.movi(REG_SYSNO, Sysno::Munmap as u16 as u64);
+        asm.push(Inst::Syscall);
+    }
+    asm.push(Inst::Halt);
+    core.machine.load_text(asm.finish());
+    shared.borrow().set_current(a, &mut core.machine);
+    core.run(base, 20_000_000).expect("churn completes");
+
+    // After the churn, every direct-map page's tree bit agrees with the
+    // table for both contexts.
+    for frame in 0..256u64 {
+        let va = layout::frame_to_va(frame);
+        assert_agree(&tee, a, va, "direct-map page");
+    }
+}
+
+#[test]
+fn huge_granules_keep_the_mirror_compact() {
+    let (_core, _shared, tee, _a, _b) = setup();
+    let mut t = tee.borrow_mut();
+    let (l1, l2, l3) = t.b.total_footprint();
+    // Boot-time regions are huge and aligned: the mirror must exploit
+    // coarse granules instead of exploding into 4 KiB leaves.
+    let total = l1 + l2 + l3;
+    assert!(
+        total < 40_000,
+        "tree footprint l1={l1} l2={l2} l3={l3} should stay compact"
+    );
+    assert!(l1 > 0, "1 GiB entries are in use for the big shared regions");
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the isolation invariants that Perspective's
+//! security argument rests on.
+
+use persp_kernel::context::CgroupId;
+use persp_kernel::layout::{frame_to_va, va_to_frame};
+use persp_kernel::mm::{BuddyAllocator, SlabAllocator};
+use persp_kernel::sink::AllocSink;
+use persp_kernel::sink::{NullSink, Owner};
+use perspective::dsv::{DsvClass, DsvTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Buddy invariant: live allocations never overlap, and free/realloc
+    /// conserves the total frame count.
+    #[test]
+    fn buddy_allocations_never_overlap(orders in prop::collection::vec(0u8..=4, 1..40)) {
+        let mut buddy = BuddyAllocator::new(4096);
+        let mut sink = NullSink;
+        let mut live: Vec<(u64, u8)> = Vec::new();
+        for order in orders {
+            if let Some(f) = buddy.alloc(order, Owner::Shared, &mut sink) {
+                live.push((f, order));
+            }
+        }
+        // No two live blocks intersect.
+        for (i, &(fa, oa)) in live.iter().enumerate() {
+            for &(fb, ob) in &live[i + 1..] {
+                let (ea, eb) = (fa + (1 << oa), fb + (1 << ob));
+                prop_assert!(ea <= fb || eb <= fa, "overlap: {fa}+{oa} vs {fb}+{ob}");
+            }
+        }
+        // Freeing restores every frame.
+        let allocated: u64 = live.iter().map(|&(_, o)| 1u64 << o).sum();
+        prop_assert_eq!(buddy.free_frames(), 4096 - allocated);
+        for (f, _) in live {
+            buddy.free(f, &mut sink);
+        }
+        prop_assert_eq!(buddy.free_frames(), 4096);
+    }
+
+    /// Secure-slab invariant: objects of different cgroups never share a
+    /// page (the §6.1 collocation guarantee), under arbitrary alloc/free
+    /// interleavings.
+    #[test]
+    fn secure_slab_never_collocates_cgroups(
+        ops in prop::collection::vec((1u32..=4, 8usize..=1024, any::<bool>()), 1..120)
+    ) {
+        let mut buddy = BuddyAllocator::new(1 << 14);
+        let mut slab = SlabAllocator::new(true);
+        let mut sink = NullSink;
+        let mut live: Vec<(u64, CgroupId)> = Vec::new();
+        for (cg, size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (va, _) = live.swap_remove(live.len() / 2);
+                slab.kfree(va, &mut buddy, &mut sink);
+            } else if let Some(va) = slab.kmalloc(size, cg, &mut buddy, &mut sink) {
+                live.push((va, cg));
+            }
+            // Page-granularity isolation at every step.
+            for (i, &(va_a, cg_a)) in live.iter().enumerate() {
+                for &(va_b, cg_b) in &live[i + 1..] {
+                    if va_a & !0xfff == va_b & !0xfff {
+                        prop_assert_eq!(cg_a, cg_b, "cross-cgroup page sharing");
+                    }
+                }
+            }
+        }
+    }
+
+    /// DSV invariant: a context classifies an address as Owned iff the
+    /// registered owner is its own cgroup; Foreign contexts never gain
+    /// speculative access.
+    #[test]
+    fn dsv_ownership_is_mutually_exclusive(
+        frames in prop::collection::vec((0u64..512, 1u32..=5), 1..60),
+        query_frame in 0u64..512,
+    ) {
+        let mut dsv = DsvTable::new();
+        for asid in 1..=5u16 {
+            dsv.register_context(asid, u32::from(asid) * 10);
+        }
+        let mut last_owner = std::collections::HashMap::new();
+        for (frame, cg_idx) in frames {
+            let cg = cg_idx * 10;
+            dsv.assign_frames(frame, 1, Owner::Cgroup(cg));
+            last_owner.insert(frame, cg);
+        }
+        let va = frame_to_va(query_frame);
+        match last_owner.get(&query_frame) {
+            None => prop_assert_eq!(dsv.classify(va, 1), DsvClass::Unknown),
+            Some(&owner_cg) => {
+                for asid in 1..=5u16 {
+                    let class = dsv.classify(va, asid);
+                    if u32::from(asid) * 10 == owner_cg {
+                        prop_assert_eq!(class, DsvClass::Owned);
+                        prop_assert!(class.speculation_allowed());
+                    } else {
+                        prop_assert_eq!(class, DsvClass::Foreign);
+                        prop_assert!(!class.speculation_allowed());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Direct-map addressing is a bijection over the managed range.
+    #[test]
+    fn direct_map_round_trip(frame in 0u64..(1 << 24)) {
+        prop_assert_eq!(va_to_frame(frame_to_va(frame)), Some(frame));
+    }
+
+    /// ISV range queries agree with the function set they were built
+    /// from, for arbitrary syscall subsets.
+    #[test]
+    fn isv_ranges_agree_with_function_set(mask in 1u64..(1 << 20)) {
+        use persp_kernel::body::emit_kernel;
+        use persp_kernel::callgraph::{CallGraph, KernelConfig};
+        use persp_kernel::syscalls::Sysno;
+        use perspective::isv::Isv;
+
+        // Build once per process (cached via thread_local).
+        thread_local! {
+            static GRAPH: CallGraph = {
+                let mut g = CallGraph::generate(KernelConfig::test_small());
+                emit_kernel(&mut g);
+                g
+            };
+        }
+        GRAPH.with(|g| {
+            let subset: Vec<Sysno> = Sysno::ALL
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> (i % 20) & 1 == 1)
+                .map(|(_, &s)| s)
+                .collect();
+            let isv = Isv::static_for(g, &subset);
+            for f in &g.funcs {
+                let inside = isv.contains_func(f.id);
+                prop_assert_eq!(
+                    isv.contains_va(f.entry_va),
+                    inside,
+                    "entry of {} disagrees with set membership",
+                    f.name
+                );
+                let last = f.entry_va + u64::from(f.len_insts - 1) * 4;
+                prop_assert_eq!(isv.contains_va(last), inside);
+            }
+            Ok(())
+        })?;
+    }
+}
+
+#[test]
+fn slab_baseline_does_collocate_which_is_the_point() {
+    // Negative control for the secure-slab property: the packing baseline
+    // really does mix cgroups in one page.
+    let mut buddy = BuddyAllocator::new(1 << 12);
+    let mut slab = SlabAllocator::new(false);
+    let mut sink = NullSink;
+    let a = slab.kmalloc(8, 1, &mut buddy, &mut sink).unwrap();
+    let b = slab.kmalloc(8, 2, &mut buddy, &mut sink).unwrap();
+    assert_eq!(a & !0xfff, b & !0xfff);
+}

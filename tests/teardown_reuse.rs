@@ -1,0 +1,152 @@
+//! Process teardown and frame reuse across tenants: when a context dies,
+//! its DSV must dissolve — freed frames drop to Unknown (in nobody's
+//! view), and once the buddy allocator hands the same frames to a new
+//! tenant they are Owned by the new tenant alone. A stale ownership bit
+//! here would be a cross-tenant leak channel, so both the authoritative
+//! table and the hardware-facing DSVMT mirror are checked.
+
+use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::context::Process;
+use persp_kernel::kernel::{Kernel, SharedKernel};
+use persp_kernel::layout;
+use persp_kernel::sink::{Owner, TeeSink};
+use persp_kernel::syscalls::Sysno;
+use persp_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use persp_uarch::config::CoreConfig;
+use persp_uarch::isa::{Assembler, Inst, REG_ARG0, REG_SYSNO};
+use persp_uarch::machine::Machine;
+use persp_uarch::pipeline::Core;
+use persp_uarch::policy::UnsafePolicy;
+use perspective::dsv::{DsvClass, DsvTable};
+use perspective::dsvmt::DsvmtMirror;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+type SharedTee = Rc<RefCell<TeeSink<DsvTable, DsvmtMirror>>>;
+
+fn setup() -> (Core, SharedKernel, SharedTee) {
+    let tee: SharedTee =
+        Rc::new(RefCell::new(TeeSink::new(DsvTable::new(), DsvmtMirror::new())));
+    let kernel = Kernel::build(KernelConfig::test_small(), tee.clone());
+    let shared = SharedKernel::new(kernel);
+    let mut machine = Machine::new();
+    shared.borrow().install(&mut machine);
+    let core = Core::new(
+        CoreConfig::paper_default(),
+        machine,
+        MemoryHierarchy::new(HierarchyConfig::paper_default()),
+        Box::new(UnsafePolicy::new()),
+        Box::new(shared.clone()),
+    );
+    (core, shared, tee)
+}
+
+/// Run a burst of allocation-heavy syscalls as `asid`.
+fn churn(core: &mut Core, shared: &SharedKernel, asid: u16) {
+    let base = layout::user_text_base(u32::from(asid));
+    let mut asm = Assembler::new(base);
+    for _ in 0..4 {
+        asm.movi(REG_ARG0, 8);
+        asm.movi(REG_SYSNO, Sysno::Mmap as u16 as u64);
+        asm.push(Inst::Syscall);
+        asm.movi(REG_SYSNO, Sysno::Open as u16 as u64);
+        asm.push(Inst::Syscall);
+    }
+    asm.push(Inst::Halt);
+    core.machine.load_text(asm.finish());
+    shared.borrow().set_current(asid, &mut core.machine);
+    core.run(base, 20_000_000).expect("churn completes");
+}
+
+/// Frames currently owned by `cgroup` according to the buddy allocator.
+fn frames_of(shared: &SharedKernel, cgroup: u32) -> BTreeSet<u64> {
+    let kernel = shared.borrow();
+    (0..kernel.buddy.num_frames())
+        .filter(|&f| kernel.buddy.owner_of(f) == Some(Owner::Cgroup(cgroup)))
+        .collect()
+}
+
+#[test]
+fn dead_tenants_frames_leave_every_view() {
+    let (mut core, shared, tee) = setup();
+    let a = shared.borrow_mut().create_process(11, &mut core.machine) as u16;
+    let b = shared.borrow_mut().create_process(22, &mut core.machine) as u16;
+    churn(&mut core, &shared, a);
+
+    let a_frames = frames_of(&shared, 11);
+    assert!(!a_frames.is_empty(), "churn allocated frames for tenant A");
+
+    // While A is alive, its frames are Owned for A and Foreign for B.
+    {
+        let mut t = tee.borrow_mut();
+        let &f = a_frames.iter().next().unwrap();
+        let va = layout::frame_to_va(f);
+        assert_eq!(t.a.classify(va, a), DsvClass::Owned);
+        assert_eq!(t.a.classify(va, b), DsvClass::Foreign);
+    }
+
+    shared.borrow_mut().destroy_process(a);
+
+    // Every one of A's former frames is now un-owned: outside everyone's
+    // view in both the table and the mirror.
+    let mut t = tee.borrow_mut();
+    for &f in &a_frames {
+        let va = layout::frame_to_va(f);
+        let class = t.a.classify(va, b);
+        assert!(
+            class == DsvClass::Unknown,
+            "freed frame {f} should be Unknown, got {class:?}"
+        );
+        assert!(!t.b.walk(b, va).in_view, "mirror still shows frame {f} in a view");
+        assert_eq!(shared.borrow().buddy.owner_of(f), None, "buddy still tracks owner");
+    }
+}
+
+#[test]
+fn reused_frames_belong_to_the_new_tenant_alone() {
+    let (mut core, shared, tee) = setup();
+    let a = shared.borrow_mut().create_process(11, &mut core.machine) as u16;
+    churn(&mut core, &shared, a);
+    let a_frames = frames_of(&shared, 11);
+    shared.borrow_mut().destroy_process(a);
+
+    // A new tenant appears and allocates; the buddy allocator hands it
+    // (at least some of) the recycled frames.
+    let c = shared.borrow_mut().create_process(33, &mut core.machine) as u16;
+    churn(&mut core, &shared, c);
+    let c_frames = frames_of(&shared, 33);
+    let reused: Vec<u64> = a_frames.intersection(&c_frames).copied().collect();
+    assert!(
+        !reused.is_empty(),
+        "allocator recycles the dead tenant's frames (A had {}, C has {})",
+        a_frames.len(),
+        c_frames.len()
+    );
+
+    // The recycled frames are cleanly C's: Owned for C, with the mirror
+    // in agreement, and no residue of cgroup 11 anywhere.
+    let mut t = tee.borrow_mut();
+    for &f in &reused {
+        let va = layout::frame_to_va(f);
+        assert_eq!(t.a.classify(va, c), DsvClass::Owned, "frame {f} owned by C");
+        assert!(t.b.walk(c, va).in_view, "mirror agrees frame {f} is in C's view");
+        assert_eq!(
+            shared.borrow().buddy.owner_of(f),
+            Some(Owner::Cgroup(33)),
+            "buddy records the new owner"
+        );
+    }
+}
+
+#[test]
+fn teardown_is_idempotent_per_asid_and_panics_on_double_free() {
+    let (mut core, shared, _tee) = setup();
+    let pid = shared.borrow_mut().create_process(11, &mut core.machine);
+    let asid = Process::asid_of(pid);
+    shared.borrow_mut().destroy_process(asid);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.borrow_mut().destroy_process(asid);
+    }));
+    assert!(result.is_err(), "double destroy must be rejected loudly");
+}
