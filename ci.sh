@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, build, and the full test suite on the
+# small kernel. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (PERSPECTIVE_KERNEL=small)"
+PERSPECTIVE_KERNEL=small cargo test -q --release
+
+echo "ci: all gates passed"

@@ -49,6 +49,9 @@ pub const LINE_BIT1: u64 = 128;
 /// The "0" transmit line.
 pub const LINE_BIT0: u64 = 192;
 
+/// Train→evict→shot rounds per bit before giving up on the channel.
+const MAX_SHOTS: u64 = 6;
+
 /// The malicious-but-verified program leaking bit `bit` of `map[r10]`
 /// into one of two map cache lines.
 fn leak_program(bit: u32) -> Vec<Inst> {
@@ -157,36 +160,48 @@ pub fn run_ebpf_attack(scheme: Scheme, kcfg: KernelConfig, secret: u8) -> EbpfAt
             .write_u64(loaded.map_va + BOUND_SLOT as u64, BOUND);
         let oob_idx = secret_va.wrapping_sub(loaded.map_va);
 
-        // Mistrain the program's own bounds check with in-bounds calls.
-        let train_base = text + bit as u64 * 0x10_000;
-        lab.core.machine.load_text(ioctl_program(train_base, 7, 6));
-        lab.run_as(lab.attacker, train_base, 4_000_000)
-            .expect("training");
+        // Real PoCs fire the train→evict→shot loop repeatedly: any one
+        // shot can lose the race when a history-tagged entry of the
+        // shared direction predictor happens to resolve the bounds check
+        // early. Predictor state and history keep evolving between
+        // rounds, so the channel converges within a few shots.
+        for attempt in 0..MAX_SHOTS {
+            // Mistrain the program's own bounds check with in-bounds
+            // calls (fresh code addresses each round).
+            let round = bit as u64 * MAX_SHOTS + attempt;
+            let train_base = text + round * 0x10_000;
+            lab.core.machine.load_text(ioctl_program(train_base, 7, 6));
+            lab.run_as(lab.attacker, train_base, 4_000_000)
+                .expect("training");
 
-        // Evict the memory-resident bound (cache contention) and the two
-        // transmit lines; the victim's secret is hot (it is in use).
-        lab.core.mem.flush(loaded.map_va + BOUND_SLOT as u64);
-        lab.core.mem.flush(loaded.map_va + LINE_BIT1);
-        lab.core.mem.flush(loaded.map_va + LINE_BIT0);
-        lab.core.mem.read(secret_va);
+            // Evict the memory-resident bound (cache contention) and the
+            // two transmit lines; the victim's secret is hot (in use).
+            lab.core.mem.flush(loaded.map_va + BOUND_SLOT as u64);
+            lab.core.mem.flush(loaded.map_va + LINE_BIT1);
+            lab.core.mem.flush(loaded.map_va + LINE_BIT0);
+            lab.core.mem.read(secret_va);
 
-        // One transient shot.
-        let attack_base = train_base + 0x8000;
-        lab.core
-            .machine
-            .load_text(ioctl_program(attack_base, oob_idx, 1));
-        lab.run_as(lab.attacker, attack_base, 4_000_000)
-            .expect("attack");
+            // One transient shot.
+            let attack_base = train_base + 0x8000;
+            lab.core
+                .machine
+                .load_text(ioctl_program(attack_base, oob_idx, 1));
+            lab.run_as(lab.attacker, attack_base, 4_000_000)
+                .expect("attack");
 
-        // Prime+probe: the "1" line is authoritative (a "1" transmit
-        // prefetches the "0" line, never the other way around).
-        let one_hot = lab.core.mem.probe_any(loaded.map_va + LINE_BIT1);
-        let zero_hot = lab.core.mem.probe_any(loaded.map_va + LINE_BIT0);
-        *out = match (one_hot, zero_hot) {
-            (true, _) => Some(1),
-            (false, true) => Some(0),
-            (false, false) => None,
-        };
+            // Prime+probe: the "1" line is authoritative (a "1" transmit
+            // prefetches the "0" line, never the other way around).
+            let one_hot = lab.core.mem.probe_any(loaded.map_va + LINE_BIT1);
+            let zero_hot = lab.core.mem.probe_any(loaded.map_va + LINE_BIT0);
+            *out = match (one_hot, zero_hot) {
+                (true, _) => Some(1),
+                (false, true) => Some(0),
+                (false, false) => None,
+            };
+            if out.is_some() {
+                break;
+            }
+        }
     }
 
     let recovered: Option<u8> = bits

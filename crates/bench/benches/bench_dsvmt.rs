@@ -68,16 +68,16 @@ fn bench_hwcache(c: &mut Criterion) {
     // Hot working set small enough to mostly hit (the ~99 % regime the
     // paper reports), with a cold tail forcing refills.
     let hot: Vec<u64> = (0..64).map(|i| i * PAGE).collect();
-    let cold: Vec<u64> = (0..64)
-        .map(|_| rng.gen_range(0u64..(4u64 << 30)))
-        .collect();
+    let cold: Vec<u64> = (0..64).map(|_| rng.gen_range(0u64..(4u64 << 30))).collect();
 
     c.bench_function("dsvmt-cache/lookup-hot", |b| {
         // Pre-warm.
         for &va in &hot {
             let aligned = va & !(cache.span_bytes() - 1);
             cache.refill(va, 1, |i| {
-                tree.borrow_mut().walk(aligned + u64::from(i) * PAGE).in_view
+                tree.borrow_mut()
+                    .walk(aligned + u64::from(i) * PAGE)
+                    .in_view
             });
         }
         b.iter(|| {
@@ -96,7 +96,9 @@ fn bench_hwcache(c: &mut Criterion) {
                 if matches!(cache.lookup(black_box(va), 2), HwLookup::Miss) {
                     let aligned = va & !(cache.span_bytes() - 1);
                     cache.refill(va, 2, |i| {
-                        tree.borrow_mut().walk(aligned + u64::from(i) * PAGE).in_view
+                        tree.borrow_mut()
+                            .walk(aligned + u64::from(i) * PAGE)
+                            .in_view
                     });
                     acc += 1;
                 }

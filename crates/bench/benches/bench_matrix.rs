@@ -1,0 +1,71 @@
+//! Criterion bench: the experiment matrix end to end on the small
+//! kernel — image generation, one measured cell, and the serial vs.
+//! parallel harness around a 2-scheme × 2-workload matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::kernel::KernelImage;
+use persp_workloads::{lebench, runner, Workload};
+use perspective::scheme::Scheme;
+use std::hint::black_box;
+
+const SCHEMES: [Scheme; 2] = [Scheme::Unsafe, Scheme::Perspective];
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        lebench::by_name("getpid").unwrap(),
+        lebench::by_name("small-read").unwrap(),
+    ]
+}
+
+fn matrix_cells(image: &KernelImage, threads: usize) -> usize {
+    let jobs: Vec<(usize, usize)> = (0..workloads().len())
+        .flat_map(|w| (0..SCHEMES.len()).map(move |s| (w, s)))
+        .collect();
+    let ws = workloads();
+    runner::run_parallel_with(threads, jobs, |(w, s)| {
+        runner::measure_image(SCHEMES[s], image, &ws[w])
+    })
+    .len()
+}
+
+fn bench_image_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix");
+    group.sample_size(10);
+    group.bench_function("kernel-image-build-small", |b| {
+        b.iter(|| black_box(KernelImage::build(KernelConfig::test_small())))
+    });
+    group.finish();
+}
+
+fn bench_single_cell(c: &mut Criterion) {
+    let image = KernelImage::build(KernelConfig::test_small());
+    let w = lebench::by_name("getpid").unwrap();
+    let mut group = c.benchmark_group("matrix");
+    group.sample_size(10);
+    group.bench_function("cell-getpid-unsafe", |b| {
+        b.iter(|| black_box(runner::measure_image(Scheme::Unsafe, &image, &w)))
+    });
+    group.finish();
+}
+
+fn bench_matrix_widths(c: &mut Criterion) {
+    let image = KernelImage::build(KernelConfig::test_small());
+    let mut group = c.benchmark_group("matrix");
+    group.sample_size(10);
+    group.bench_function("2x2-serial", |b| {
+        b.iter(|| black_box(matrix_cells(&image, 1)))
+    });
+    group.bench_function("2x2-threads-4", |b| {
+        b.iter(|| black_box(matrix_cells(&image, 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_image_build,
+    bench_single_cell,
+    bench_matrix_widths
+);
+criterion_main!(benches);

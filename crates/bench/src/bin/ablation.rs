@@ -5,13 +5,13 @@
 //! disjoint attack classes; this ablation shows their costs are largely
 //! additive and individually small.
 
-use persp_bench::{header, kernel_config, pct};
+use persp_bench::{header, kernel_image, pct};
 use persp_workloads::{lebench, runner};
 use perspective::policy::PerspectiveConfig;
 use perspective::scheme::Scheme;
 
 fn main() {
-    let kcfg = kernel_config();
+    let image = kernel_image();
     header(
         "Ablation: DSV-only / ISV-only / full Perspective",
         "design analysis (§5.1, §9.2)",
@@ -40,19 +40,32 @@ fn main() {
         "test", "DSV only", "ISV only", "DSV+ISV"
     );
     println!("{}", "-".repeat(54));
-    for name in [
+    let names = [
         "getpid",
         "select",
         "small-read",
         "poll",
         "page-fault",
         "big-fork",
-    ] {
-        let w = lebench::by_name(name).unwrap();
-        let base = runner::measure(Scheme::Unsafe, kcfg, &w);
+    ];
+    // One row per workload: the UNSAFE baseline plus the three ablation
+    // configurations, all run as one parallel matrix over the shared image.
+    let jobs: Vec<(usize, Option<PerspectiveConfig>)> = (0..names.len())
+        .flat_map(|w| {
+            std::iter::once((w, None)).chain(configs.iter().map(move |&(_, cfg)| (w, Some(cfg))))
+        })
+        .collect();
+    let cells = runner::run_parallel(jobs, |(w, cfg)| {
+        let workload = lebench::by_name(names[w]).unwrap();
+        match cfg {
+            None => runner::measure_image(Scheme::Unsafe, &image, &workload),
+            Some(cfg) => runner::measure_image_cfg(Scheme::Perspective, &image, &workload, cfg),
+        }
+    });
+    for (name, row) in names.iter().zip(cells.chunks(1 + configs.len())) {
+        let base = &row[0];
         print!("{name:<14}");
-        for (_, cfg) in &configs {
-            let m = runner::measure_cfg(Scheme::Perspective, kcfg, &w, *cfg);
+        for m in &row[1..] {
             let ov = m.stats.cycles as f64 / base.stats.cycles.max(1) as f64 - 1.0;
             print!(" | {:>10}", pct(ov));
         }

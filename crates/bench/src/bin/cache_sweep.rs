@@ -4,16 +4,16 @@
 //! this sweep shows how much headroom the design point has in either
 //! direction — the justification a hardware architect would ask for.
 
-use persp_bench::{header, kernel_config, norm, pct};
+use persp_bench::{header, kernel_image, norm, pct};
 use persp_workloads::lebench;
-use persp_workloads::measure_cfg;
+use persp_workloads::runner;
 use perspective::policy::PerspectiveConfig;
 use perspective::scheme::Scheme;
 
 const SIZES: [usize; 5] = [16, 32, 64, 128, 256];
 
 fn main() {
-    let kcfg = kernel_config();
+    let image = kernel_image();
     header(
         "Ablation: ISV/DSVMT cache size sweep",
         "paper §9.2 hit rates + Table 9.1 design point",
@@ -28,27 +28,31 @@ fn main() {
         .extend(lebench::by_name("select").expect("suite test").steps);
     w.name = "read+mmap+select";
 
-    let base = measure_cfg(
-        Scheme::Unsafe,
-        kcfg,
-        &w,
-        PerspectiveConfig::default(),
-    )
-    .stats
-    .cycles as f64;
+    // Baseline plus the five sweep points, as one parallel batch over
+    // the shared kernel image.
+    let jobs: Vec<Option<usize>> = std::iter::once(None)
+        .chain(SIZES.into_iter().map(Some))
+        .collect();
+    let mut cells = runner::run_parallel(jobs, |entries| match entries {
+        None => runner::measure_image(Scheme::Unsafe, &image, &w),
+        Some(entries) => {
+            let cfg = PerspectiveConfig {
+                isv_cache_entries: entries,
+                dsvmt_cache_entries: entries,
+                ..PerspectiveConfig::default()
+            };
+            runner::measure_image_cfg(Scheme::Perspective, &image, &w, cfg)
+        }
+    })
+    .into_iter();
+    let base = cells.next().expect("baseline cell").stats.cycles as f64;
 
     println!(
         "{:<8} | {:>10} | {:>12} | {:>12} | {:>14}",
         "entries", "latency", "ISV hit", "DSVMT hit", "ISV fences/ki"
     );
     println!("{}", "-".repeat(68));
-    for entries in SIZES {
-        let cfg = PerspectiveConfig {
-            isv_cache_entries: entries,
-            dsvmt_cache_entries: entries,
-            ..PerspectiveConfig::default()
-        };
-        let m = measure_cfg(Scheme::Perspective, kcfg, &w, cfg);
+    for (entries, m) in SIZES.into_iter().zip(cells) {
         let fences_per_ki = m.fences.map_or(0.0, |f| {
             1000.0 * f.isv as f64 / m.stats.committed_insts.max(1) as f64
         });
@@ -63,7 +67,7 @@ fn main() {
     }
     println!();
     println!("the hit-rate knee sits at the paper's 128-entry design point:");
-    println!("halving the caches roughly triples the ISV fence rate, while");
-    println!("doubling them buys the last ~2 % of overhead — the Table 9.1");
+    println!("halving the caches roughly doubles the ISV fence rate, while");
+    println!("doubling them buys the last ~1.5 % of overhead — the Table 9.1");
     println!("area/energy numbers price exactly this geometry.");
 }

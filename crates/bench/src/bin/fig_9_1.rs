@@ -7,14 +7,14 @@
 //! under the deployed ISV (the audit targets, §8.2); work is simulated
 //! execution cycles plus taint-analysis instructions.
 
-use persp_bench::{header, kernel_config, lebench_union_workload, trace_workload};
+use persp_bench::{header, kernel_image, lebench_union_workload, trace_workload};
 use persp_scanner::fuzzer::compare_bounded;
 use persp_workloads::{apps, SimInstance};
 use perspective::isv::Isv;
 use perspective::scheme::Scheme;
 
 fn main() {
-    let kcfg = kernel_config();
+    let image = kernel_image();
     header(
         "Figure 9.1: Speedup of Kasper's gadget discovery rate",
         "paper §8.2, Figure 9.1",
@@ -31,11 +31,10 @@ fn main() {
     let mut speedups = Vec::new();
     for w in &workloads {
         // Derive the workload's dynamic ISV from a real trace.
-        let trace = trace_workload(kcfg, w);
-        let mut inst = SimInstance::new(Scheme::Unsafe, kcfg);
+        let trace = trace_workload(&image, w);
+        let mut inst = SimInstance::from_image(Scheme::Unsafe, &image);
         let (isv_funcs, n_funcs) = {
-            let kernel = inst.kernel.borrow();
-            let isv = Isv::dynamic_from_trace(&kernel.graph, &trace);
+            let isv = Isv::dynamic_from_funcs(&image.graph, trace);
             (isv.funcs().clone(), isv.num_funcs())
         };
         let asid = inst.asid;

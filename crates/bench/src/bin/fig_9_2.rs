@@ -4,13 +4,13 @@
 //! Default: the paper's five main schemes. `--all` adds the §9.1
 //! comparison points (DOM, STT, KPTI+Retpoline, Retpoline-only).
 
-use persp_bench::{header, kernel_config, norm};
+use persp_bench::{header, kernel_image, norm};
 use persp_workloads::{lebench, runner};
 use perspective::scheme::Scheme;
 
 fn main() {
     let all = std::env::args().any(|a| a == "--all");
-    let kcfg = kernel_config();
+    let image = kernel_image();
     let schemes: Vec<Scheme> = if all {
         Scheme::ALL.to_vec()
     } else {
@@ -30,8 +30,8 @@ fn main() {
 
     let mut sums = vec![0.0f64; schemes.len()];
     let suite = lebench::suite();
-    for w in &suite {
-        let ms = runner::measure_schemes(&schemes, kcfg, w);
+    let matrix = runner::run_matrix(&image, &schemes, &suite);
+    for (w, ms) in suite.iter().zip(matrix.chunks(schemes.len())) {
         print!("{:<16}", w.name);
         for (i, m) in ms.iter().enumerate().skip(1) {
             let normalized = m.stats.cycles as f64 / ms[0].stats.cycles.max(1) as f64;

@@ -1,14 +1,14 @@
 //! Experiment E7 — Figure 9.3: datacenter application throughput
 //! (requests per second) normalized to the UNSAFE baseline.
 
-use persp_bench::{header, kernel_config, norm};
+use persp_bench::{header, kernel_image, norm};
 use persp_uarch::config::CoreConfig;
 use persp_workloads::{apps, runner};
 use perspective::scheme::Scheme;
 
 fn main() {
     let all = std::env::args().any(|a| a == "--all");
-    let kcfg = kernel_config();
+    let image = kernel_image();
     let schemes: Vec<Scheme> = if all {
         Scheme::ALL.to_vec()
     } else {
@@ -30,9 +30,10 @@ fn main() {
     let freq = CoreConfig::paper_default().freq_ghz;
     let mut sums = vec![0.0f64; schemes.len()];
     let the_apps = apps::apps();
-    for app in &the_apps {
+    let workloads: Vec<_> = the_apps.iter().map(|a| a.workload.clone()).collect();
+    let matrix = runner::run_matrix(&image, &schemes, &workloads);
+    for (app, ms) in the_apps.iter().zip(matrix.chunks(schemes.len())) {
         let w = &app.workload;
-        let ms = runner::measure_schemes(&schemes, kcfg, w);
         let base_rps = ms[0].rps(w.iters, freq);
         print!("{:<12} {:>12}", w.name, format!("{:.0}", base_rps));
         for (i, m) in ms.iter().enumerate().skip(1) {

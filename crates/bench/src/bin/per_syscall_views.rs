@@ -24,8 +24,8 @@ use persp_bench::{header, kernel_config, lebench_union_workload, norm, pct};
 use persp_kernel::syscalls::Sysno;
 use persp_workloads::apps;
 use persp_workloads::lebench;
-use persp_workloads::{measure, measure_per_syscall};
 use persp_workloads::spec::Workload;
+use persp_workloads::{measure, measure_per_syscall};
 use perspective::isv::Isv;
 use perspective::scheme::Scheme;
 use std::collections::HashMap;
@@ -62,8 +62,8 @@ fn main() {
         let profile = w.syscall_profile();
         let proc_wide = Isv::static_for(graph, &profile).num_funcs();
 
-        let avg: f64 = profile.iter().map(|s| per_sys[s] as f64).sum::<f64>()
-            / profile.len() as f64;
+        let avg: f64 =
+            profile.iter().map(|s| per_sys[s] as f64).sum::<f64>() / profile.len() as f64;
 
         let effective = effective_surface(w, &per_sys);
 
@@ -74,7 +74,11 @@ fn main() {
 
         println!(
             "{:<10} | {:>12} | {:>12.0} | {:>12.0} | {:>10}",
-            w.name, proc_wide, avg, effective, pct(tighten)
+            w.name,
+            proc_wide,
+            avg,
+            effective,
+            pct(tighten)
         );
     }
     println!("{}", "-".repeat(70));
@@ -84,16 +88,8 @@ fn main() {
     );
 
     // Where the floor is: the shared part every view must contain.
-    let min_view = Sysno::ALL
-        .iter()
-        .map(|s| per_sys[s])
-        .min()
-        .unwrap_or(0) as f64;
-    let max_view = Sysno::ALL
-        .iter()
-        .map(|s| per_sys[s])
-        .max()
-        .unwrap_or(0) as f64;
+    let min_view = Sysno::ALL.iter().map(|s| per_sys[s]).min().unwrap_or(0) as f64;
+    let max_view = Sysno::ALL.iter().map(|s| per_sys[s]).max().unwrap_or(0) as f64;
     println!();
     println!(
         "per-syscall closures span {:.0}..{:.0} functions ({}..{} of the kernel);",

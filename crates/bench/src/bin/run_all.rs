@@ -1,44 +1,59 @@
-//! Runs every experiment binary's logic in sequence — the one-command
-//! regeneration of all the paper's tables and figures.
+//! Runs every experiment binary — the one-command regeneration of all
+//! the paper's tables and figures.
 //!
 //! Each experiment is also available as its own binary (`table_8_1`,
 //! `fig_9_2`, ...); see DESIGN.md §4 for the index. Set
 //! `PERSPECTIVE_KERNEL=small` for a quick smoke run.
+//!
+//! Children run concurrently with captured stdout, and every transcript
+//! is printed in the fixed experiment order once its run completes — the
+//! combined output is byte-identical whatever `PERSPECTIVE_THREADS` says
+//! (each child also runs its own cells on the parallel matrix, so the
+//! worker budget is split between the two levels).
 
+use persp_workloads::runner;
 use std::process::Command;
 
-fn run(bin: &str, args: &[&str]) {
-    println!(
-        "\n################ {bin} {} ################",
-        args.join(" ")
-    );
-    let exe = std::env::current_exe().expect("self path");
-    let dir = exe.parent().expect("bin dir");
-    let status = Command::new(dir.join(bin))
-        .args(args)
-        .status()
-        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-    assert!(status.success(), "{bin} failed");
-}
+const EXPERIMENTS: [&str; 14] = [
+    "table_4_1",
+    "table_7_1",
+    "table_8_1",
+    "table_8_2",
+    "security_poc",
+    "fig_9_1",
+    "fig_9_2",
+    "fig_9_3",
+    "table_9_1",
+    "table_10_1",
+    "sensitivity",
+    "ablation",
+    "per_syscall_views",
+    "cache_sweep",
+];
 
 fn main() {
-    for bin in [
-        "table_4_1",
-        "table_7_1",
-        "table_8_1",
-        "table_8_2",
-        "security_poc",
-        "fig_9_1",
-        "fig_9_2",
-        "fig_9_3",
-        "table_9_1",
-        "table_10_1",
-        "sensitivity",
-        "ablation",
-        "per_syscall_views",
-        "cache_sweep",
-    ] {
-        run(bin, &[]);
+    let exe = std::env::current_exe().expect("self path");
+    let dir = exe.parent().expect("bin dir").to_path_buf();
+    // Split the worker budget: up to four children at a time, each given
+    // an equal share of the configured thread count for its own matrix.
+    let total = runner::num_threads();
+    let outer = total.clamp(1, 4);
+    let inner = (total / outer).max(1);
+    let transcripts = runner::run_parallel_with(outer, EXPERIMENTS.to_vec(), |bin| {
+        let out = Command::new(dir.join(bin))
+            .env("PERSPECTIVE_THREADS", inner.to_string())
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(
+            out.status.success(),
+            "{bin} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    });
+    for (bin, stdout) in EXPERIMENTS.iter().zip(transcripts) {
+        println!("\n################ {bin} ################");
+        print!("{}", String::from_utf8_lossy(&stdout));
     }
     println!("\nAll experiments completed.");
 }

@@ -2,8 +2,9 @@
 //! rates, the cost of blocking unknown allocations, secure-slab memory
 //! fragmentation, and domain-reassignment frequency.
 
-use persp_bench::{header, kernel_config, pct};
+use persp_bench::{header, kernel_image, pct};
 use persp_kernel::context::CgroupId;
+use persp_kernel::kernel::KernelImage;
 use persp_kernel::mm::{BuddyAllocator, SlabAllocator};
 use persp_kernel::sink::NullSink;
 use persp_workloads::{apps, lebench, runner};
@@ -12,26 +13,29 @@ use perspective::scheme::Scheme;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn hit_rates() {
+fn hit_rates(image: &KernelImage) {
     println!("--- Hardware structures (ISV cache / DSVMT cache hit rates) ---");
-    let kcfg = kernel_config();
+    let names = ["getpid", "select", "small-read", "big-write", "poll"];
+    let rates = runner::run_parallel(names.to_vec(), |name| {
+        let w = lebench::by_name(name).unwrap();
+        let m = runner::measure_image(Scheme::Perspective, image, &w);
+        (
+            m.isv_cache.unwrap().hit_rate(),
+            m.dsvmt_cache.unwrap().hit_rate(),
+        )
+    });
     let mut isv_sum = 0.0;
     let mut dsv_sum = 0.0;
-    let mut n = 0.0;
-    for name in ["getpid", "select", "small-read", "big-write", "poll"] {
-        let w = lebench::by_name(name).unwrap();
-        let m = runner::measure(Scheme::Perspective, kcfg, &w);
-        let i = m.isv_cache.unwrap().hit_rate();
-        let d = m.dsvmt_cache.unwrap().hit_rate();
+    for (name, (i, d)) in names.iter().zip(&rates) {
         isv_sum += i;
         dsv_sum += d;
-        n += 1.0;
         println!(
             "  {name:<12} ISV cache {:>6}   DSVMT cache {:>6}",
-            pct(i),
-            pct(d)
+            pct(*i),
+            pct(*d)
         );
     }
+    let n = rates.len() as f64;
     println!(
         "  average      ISV cache {:>6}   DSVMT cache {:>6}",
         pct(isv_sum / n),
@@ -41,29 +45,31 @@ fn hit_rates() {
     println!();
 }
 
-fn unknown_allocations() {
+fn unknown_allocations(image: &KernelImage) {
     println!("--- Unknown allocations (block vs. allow, §9.2) ---");
-    let kcfg = kernel_config();
+    let names = ["getpid", "small-read", "poll", "page-fault"];
+    // Two cells per workload — blocking on, blocking off — run as one
+    // parallel batch.
+    let jobs: Vec<(usize, bool)> = (0..names.len())
+        .flat_map(|w| [(w, true), (w, false)])
+        .collect();
+    let cells = runner::run_parallel(jobs, |(w, block)| {
+        let workload = lebench::by_name(names[w]).unwrap();
+        let cfg = PerspectiveConfig {
+            block_unknown: block,
+            ..Default::default()
+        };
+        runner::measure_image_cfg(Scheme::Perspective, image, &workload, cfg)
+    });
     let mut deltas = Vec::new();
-    for name in ["getpid", "small-read", "poll", "page-fault"] {
-        let w = lebench::by_name(name).unwrap();
-        let blocked =
-            runner::measure_cfg(Scheme::Perspective, kcfg, &w, PerspectiveConfig::default());
-        let allowed = runner::measure_cfg(
-            Scheme::Perspective,
-            kcfg,
-            &w,
-            PerspectiveConfig {
-                block_unknown: false,
-                ..Default::default()
-            },
-        );
+    for (name, pair) in names.iter().zip(cells.chunks(2)) {
+        let (blocked, allowed) = (&pair[0], &pair[1]);
         let delta = blocked.stats.cycles as f64 / allowed.stats.cycles.max(1) as f64 - 1.0;
         deltas.push(delta);
         println!(
             "  {name:<12} blocking unknown costs {:>6}  (unknown fences: {})",
             pct(delta),
-            blocked.fences.unwrap().unknown
+            blocked.fences.as_ref().unwrap().unknown
         );
     }
     let avg = deltas.iter().sum::<f64>() / deltas.len() as f64;
@@ -80,8 +86,10 @@ fn unknown_allocations() {
 /// `slabtop`-style utilization on the baseline vs. the secure allocator.
 fn fragmentation() {
     println!("--- Memory fragmentation of the secure slab allocator (§9.2) ---");
-    let mut rng = SmallRng::seed_from_u64(42);
-    let mut run = |secure: bool| -> (u64, u64, f64) {
+    let run = |secure: bool| -> (u64, u64, f64) {
+        // Per-run rng so the two configurations see identical traffic
+        // (and so both can run concurrently).
+        let mut rng = SmallRng::seed_from_u64(42);
         let mut buddy = BuddyAllocator::new(1 << 16);
         let mut slab = SlabAllocator::new(secure);
         let mut sink = NullSink;
@@ -104,8 +112,9 @@ fn fragmentation() {
         let (active, total) = slab.utilization();
         (active, total, slab.stats().page_op_ratio())
     };
-    let (abase, tbase, _) = run(false);
-    let (asec, tsec, ratio) = run(true);
+    let runs = runner::run_parallel(vec![false, true], run);
+    let (abase, tbase, _) = runs[0];
+    let (asec, tsec, ratio) = runs[1];
     let util_base = abase as f64 / tbase.max(1) as f64;
     let util_sec = asec as f64 / tsec.max(1) as f64;
     let overhead = tsec as f64 / tbase.max(1) as f64 - 1.0;
@@ -117,11 +126,10 @@ fn fragmentation() {
     println!();
 }
 
-fn domain_reassignment() {
+fn domain_reassignment(image: &KernelImage) {
     println!("--- Domain reassignment during app runs (§9.2) ---");
-    let kcfg = kernel_config();
-    for app in apps::apps() {
-        let mut inst = persp_workloads::SimInstance::new(Scheme::Perspective, kcfg);
+    let rows = runner::run_parallel(apps::apps(), |app| {
+        let mut inst = persp_workloads::SimInstance::from_image(Scheme::Perspective, image);
         let text = inst.text_base();
         let data = inst.data_base();
         // A longer serving window than the throughput runs, so the free
@@ -131,9 +139,12 @@ fn domain_reassignment() {
         inst.core.machine.load_text(workload.compile(text, data));
         inst.core.run(text, 800_000_000).expect("app run");
         let stats = inst.kernel.borrow().slab.stats();
+        (app.workload.name, stats)
+    });
+    for (name, stats) in rows {
         println!(
             "  {:<10} object frees {:>6}, page-level ops {:>4} ({} of frees)",
-            app.workload.name,
+            name,
             stats.object_frees,
             stats.page_frees,
             pct(stats.page_op_ratio()),
@@ -145,8 +156,9 @@ fn domain_reassignment() {
 
 fn main() {
     header("Sensitivity analyses", "paper §9.2");
-    hit_rates();
-    unknown_allocations();
+    let image = kernel_image();
+    hit_rates(&image);
+    unknown_allocations(&image);
     fragmentation();
-    domain_reassignment();
+    domain_reassignment(&image);
 }

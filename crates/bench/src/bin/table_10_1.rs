@@ -1,25 +1,28 @@
 //! Experiment E9 — Table 10.1: percentage of fenced instructions due to
 //! ISV vs. DSV, plus the fences-per-kilo-instruction rates of §9.2.
 
-use persp_bench::{header, kernel_config, lebench_union_workload, pct};
-use persp_kernel::callgraph::KernelConfig;
+use persp_bench::{header, kernel_image, lebench_union_workload, pct};
+use persp_workloads::runner::Measurement;
 use persp_workloads::{apps, runner, Workload};
 use perspective::scheme::Scheme;
 
-fn row(kcfg: KernelConfig, w: &Workload) {
+const SCHEMES: [Scheme; 3] = [
+    Scheme::PerspectiveStatic,
+    Scheme::Perspective,
+    Scheme::PerspectivePlusPlus,
+];
+
+fn row(w: &Workload, ms: &[Measurement]) {
     print!("{:<10}", w.name);
-    for scheme in [
-        Scheme::PerspectiveStatic,
-        Scheme::Perspective,
-        Scheme::PerspectivePlusPlus,
-    ] {
-        let m = runner::measure(scheme, kcfg, w);
-        let f = m.fences.expect("perspective scheme");
+    for m in ms {
+        let f = m.fences.as_ref().expect("perspective scheme");
         let isv_share = f.isv_fraction();
         print!(" | {:>5} / {:>5}", pct(isv_share), pct(1.0 - isv_share));
     }
-    let m = runner::measure(Scheme::Perspective, kcfg, w);
-    let f = m.fences.expect("perspective scheme");
+    // The dynamic-ISV cell doubles as the fence-rate column (measurement
+    // is deterministic, so re-running Perspective would reproduce it).
+    let m = &ms[1];
+    let f = m.fences.as_ref().expect("perspective scheme");
     let ki = m.stats.committed_insts.max(1) as f64 / 1000.0;
     println!(
         "   [{:>5.1} ISV f/ki, {:>5.1} DSV f/ki]",
@@ -29,7 +32,7 @@ fn row(kcfg: KernelConfig, w: &Workload) {
 }
 
 fn main() {
-    let kcfg = kernel_config();
+    let image = kernel_image();
     header(
         "Table 10.1: Percentage of fenced instructions due to ISV and DSV",
         "paper §9.2, Table 10.1",
@@ -39,9 +42,11 @@ fn main() {
         "workload", "ISV-S/DSV", "ISV/DSV", "ISV++/DSV"
     );
     println!("{}", "-".repeat(60));
-    row(kcfg, &lebench_union_workload());
-    for app in apps::apps() {
-        row(kcfg, &app.workload);
+    let mut workloads = vec![lebench_union_workload()];
+    workloads.extend(apps::apps().into_iter().map(|a| a.workload));
+    let matrix = runner::run_matrix(&image, &SCHEMES, &workloads);
+    for (w, ms) in workloads.iter().zip(matrix.chunks(SCHEMES.len())) {
+        row(w, ms);
     }
     println!();
     println!("paper: ISV share 13-27% (static), 12-23% (dynamic); DSV 73-88%;");

@@ -5,11 +5,11 @@
 //! declared syscall profiles; dynamic ISVs (ISV) come from real execution
 //! traces on the simulator.
 
-use persp_bench::{header, isv_trio, kernel_config, lebench_union_workload, pct};
-use persp_workloads::apps;
+use persp_bench::{header, isv_trio, kernel_image, lebench_union_workload, pct};
+use persp_workloads::{apps, runner};
 
 fn main() {
-    let kcfg = kernel_config();
+    let image = kernel_image();
     header(
         "Table 8.1: Attack surface reduction with Perspective",
         "paper §8.2, Table 8.1",
@@ -24,12 +24,19 @@ fn main() {
     );
     println!("{}", "-".repeat(64));
     let mut sums = (0.0, 0.0);
-    for w in &workloads {
+    // One worker per workload; each derives its views against the shared
+    // image and returns the row's numbers (instances stay thread-local).
+    let rows = runner::run_parallel(workloads.clone(), |w| {
         let profile = w.syscall_profile();
-        let (isv_s, isv_d, _pp, inst) = isv_trio(kcfg, w, &profile);
-        let kernel = inst.kernel.borrow();
-        let rs = isv_s.surface_reduction(&kernel.graph);
-        let rd = isv_d.surface_reduction(&kernel.graph);
+        let (isv_s, isv_d, _pp, _inst) = isv_trio(&image, &w, &profile);
+        (
+            isv_s.surface_reduction(&image.graph),
+            isv_d.surface_reduction(&image.graph),
+            isv_s.num_funcs(),
+            isv_d.num_funcs(),
+        )
+    });
+    for (w, (rs, rd, n_s, n_d)) in workloads.iter().zip(rows) {
         sums.0 += rs;
         sums.1 += rd;
         println!(
@@ -37,8 +44,8 @@ fn main() {
             w.name,
             pct(rs),
             pct(rd),
-            format!("{} funcs", isv_s.num_funcs()),
-            format!("{} funcs", isv_d.num_funcs()),
+            format!("{n_s} funcs"),
+            format!("{n_d} funcs"),
         );
     }
     let n = workloads.len() as f64;

@@ -6,9 +6,9 @@
 //! function is outside the view (its transmitters cannot execute
 //! speculatively).
 
-use persp_bench::{header, isv_trio, kernel_config, lebench_union_workload, pct};
+use persp_bench::{header, isv_trio, kernel_image, lebench_union_workload, pct};
 use persp_kernel::callgraph::GadgetKind;
-use persp_workloads::apps;
+use persp_workloads::{apps, runner};
 use perspective::isv::Isv;
 
 fn blocked_by_kind(graph: &persp_kernel::callgraph::CallGraph, isv: &Isv) -> (f64, f64, f64) {
@@ -30,7 +30,7 @@ fn blocked_by_kind(graph: &persp_kernel::callgraph::CallGraph, isv: &Isv) -> (f6
 }
 
 fn main() {
-    let kcfg = kernel_config();
+    let image = kernel_image();
     header(
         "Table 8.2: Perspective's MDS/Port/Cache gadget reduction",
         "paper §8.2, Table 8.2",
@@ -44,14 +44,17 @@ fn main() {
         "Benchmark", "ISV-S (MDS/Port/Cache)", "ISV (MDS/Port/Cache)", "ISV++ (MDS/Port/Cache)"
     );
     println!("{}", "-".repeat(92));
-    for w in &workloads {
+    let rows = runner::run_parallel(workloads.clone(), |w| {
         let profile = w.syscall_profile();
-        let (isv_s, isv_d, isv_pp, inst) = isv_trio(kcfg, w, &profile);
-        let kernel = inst.kernel.borrow();
-        let g = &kernel.graph;
-        let s = blocked_by_kind(g, &isv_s);
-        let d = blocked_by_kind(g, &isv_d);
-        let p = blocked_by_kind(g, &isv_pp);
+        let (isv_s, isv_d, isv_pp, _inst) = isv_trio(&image, &w, &profile);
+        let g = &image.graph;
+        (
+            blocked_by_kind(g, &isv_s),
+            blocked_by_kind(g, &isv_d),
+            blocked_by_kind(g, &isv_pp),
+        )
+    });
+    for (w, (s, d, p)) in workloads.iter().zip(rows) {
         println!(
             "{:<10} | {:>6} {:>6} {:>6}  | {:>6} {:>6} {:>6}  | {:>6} {:>6} {:>6}",
             w.name,

@@ -5,9 +5,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::callgraph::{FuncId, KernelConfig};
+use persp_kernel::kernel::KernelImage;
 use persp_kernel::syscalls::Sysno;
-use persp_workloads::{lebench, Workload};
+use persp_workloads::{lebench, runner, Workload};
 use perspective::isv::Isv;
 use perspective::scheme::Scheme;
 use std::collections::HashSet;
@@ -20,6 +21,13 @@ pub fn kernel_config() -> KernelConfig {
         Ok("small") => KernelConfig::test_small(),
         _ => KernelConfig::paper(),
     }
+}
+
+/// Generate the experiment kernel image once; see [`kernel_config`].
+/// Every (scheme, workload) cell of an experiment shares this image
+/// instead of regenerating the call graph.
+pub fn kernel_image() -> KernelImage {
+    KernelImage::build(kernel_config())
 }
 
 /// Print an experiment header.
@@ -58,9 +66,11 @@ pub fn lebench_union_workload() -> Workload {
 }
 
 /// Collect a dynamic-ISV trace for a workload by running it once on an
-/// UNSAFE instance (tracing is scheme-independent).
-pub fn trace_workload(kcfg: KernelConfig, workload: &Workload) -> HashSet<u64> {
-    let mut inst = persp_workloads::SimInstance::new(Scheme::Unsafe, kcfg);
+/// UNSAFE instance (tracing is scheme-independent). The raw call-target
+/// VAs are resolved to function ids against the image's graph before
+/// returning, so callers never handle addresses.
+pub fn trace_workload(image: &KernelImage, workload: &Workload) -> HashSet<FuncId> {
+    let mut inst = persp_workloads::SimInstance::from_image(Scheme::Unsafe, image);
     let text = inst.text_base();
     let data = inst.data_base();
     inst.core.machine.load_text(workload.compile(text, data));
@@ -68,23 +78,23 @@ pub fn trace_workload(kcfg: KernelConfig, workload: &Workload) -> HashSet<u64> {
     inst.core
         .run(text, 400_000_000)
         .expect("trace run completes");
-    inst.core.take_call_trace()
+    let raw = inst.core.take_call_trace();
+    runner::trace_to_funcs(&image.graph, &raw)
 }
 
 /// Build the three ISV flavors for a workload — `(ISV-S, ISV, ISV++)` —
 /// plus the instance whose kernel they were derived from.
 pub fn isv_trio(
-    kcfg: KernelConfig,
+    image: &KernelImage,
     workload: &Workload,
     profile: &[Sysno],
 ) -> (Isv, Isv, Isv, persp_workloads::SimInstance) {
-    let inst = persp_workloads::SimInstance::new(Scheme::Unsafe, kcfg);
-    let trace = trace_workload(kcfg, workload);
+    let inst = persp_workloads::SimInstance::from_image(Scheme::Unsafe, image);
+    let trace = trace_workload(image, workload);
     let (isv_s, isv_d, isv_pp) = {
-        let kernel = inst.kernel.borrow();
-        let graph = &kernel.graph;
+        let graph = &image.graph;
         let isv_s = Isv::static_for(graph, profile);
-        let isv_d = Isv::dynamic_from_trace(graph, &trace);
+        let isv_d = Isv::dynamic_from_funcs(graph, trace);
         let report =
             persp_scanner::scan_bounded(graph, isv_d.funcs(), |pc| inst.core.machine.inst_at(pc));
         let isv_pp = isv_d
@@ -114,17 +124,17 @@ mod tests {
 
     #[test]
     fn small_kernel_trace_produces_dynamic_isv() {
-        let kcfg = KernelConfig::test_small();
+        let image = KernelImage::build(KernelConfig::test_small());
         let w = persp_workloads::lebench::by_name("getpid").unwrap();
-        let trace = trace_workload(kcfg, &w);
+        let trace = trace_workload(&image, &w);
         assert!(!trace.is_empty());
     }
 
     #[test]
     fn isv_trio_orders_by_size() {
-        let kcfg = KernelConfig::test_small();
+        let image = KernelImage::build(KernelConfig::test_small());
         let w = persp_workloads::lebench::by_name("small-read").unwrap();
-        let (s, d, pp, _inst) = isv_trio(kcfg, &w, &w.syscall_profile());
+        let (s, d, pp, _inst) = isv_trio(&image, &w, &w.syscall_profile());
         assert!(d.num_funcs() <= s.num_funcs(), "dynamic ⊆ static footprint");
         assert!(pp.num_funcs() <= d.num_funcs(), "++ removes flagged hosts");
     }

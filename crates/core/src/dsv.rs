@@ -20,7 +20,7 @@ use persp_kernel::context::CgroupId;
 use persp_kernel::layout::va_to_frame;
 use persp_kernel::sink::{AllocSink, Owner};
 use persp_uarch::Asid;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// How an address relates to a context's DSV.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,11 +58,20 @@ pub struct DsvStats {
 /// The software DSV metadata table. Implements [`AllocSink`] so the
 /// kernel's allocators keep it current, exactly as Perspective hooks
 /// `alloc_pages()` and the secure slab allocator (§6.1).
+///
+/// Frame ownership and context membership are dense vectors (indexed by
+/// frame number and ASID, grown on demand) rather than hash maps:
+/// [`DsvTable::classify`] sits on the simulation hot path — every DSVMT
+/// cache miss lands here — and both probes must be O(1) loads.
 #[derive(Debug, Default)]
 pub struct DsvTable {
-    frames: HashMap<u64, Owner>,
+    /// Frame → owner; `None` means no recorded provenance.
+    frames: Vec<Option<Owner>>,
+    /// Number of `Some` entries in `frames`.
+    tracked: usize,
     va_ranges: BTreeMap<u64, (u64, Owner)>,
-    contexts: HashMap<Asid, CgroupId>,
+    /// ASID → cgroup; `None` means unregistered.
+    contexts: Vec<Option<CgroupId>>,
     stats: DsvStats,
 }
 
@@ -78,14 +87,16 @@ impl DsvTable {
     }
 
     /// The cgroup an ASID belongs to, if registered.
+    #[inline]
     pub fn cgroup_of(&self, asid: Asid) -> Option<CgroupId> {
-        self.contexts.get(&asid).copied()
+        self.contexts.get(usize::from(asid)).copied().flatten()
     }
 
     /// Raw ownership of an address, independent of any context.
+    #[inline]
     pub fn owner_of(&self, va: u64) -> Option<Owner> {
         if let Some(frame) = va_to_frame(va) {
-            return self.frames.get(&frame).copied();
+            return self.frames.get(frame as usize).copied().flatten();
         }
         let (&start, &(len, owner)) = self.va_ranges.range(..=va).next_back()?;
         (va < start + len).then_some(owner)
@@ -101,7 +112,7 @@ impl DsvTable {
             Owner::Shared => DsvClass::Shared,
             Owner::Unknown => DsvClass::Unknown,
             Owner::Cgroup(cg) => {
-                if self.contexts.get(&asid) == Some(&cg) {
+                if self.cgroup_of(asid) == Some(cg) {
                     DsvClass::Owned
                 } else {
                     DsvClass::Foreign
@@ -112,26 +123,38 @@ impl DsvTable {
 
     /// Number of frames with recorded ownership.
     pub fn tracked_frames(&self) -> usize {
-        self.frames.len()
+        self.tracked
     }
 }
 
 impl AllocSink for DsvTable {
     fn register_context(&mut self, asid: u16, cgroup: CgroupId) {
-        self.contexts.insert(asid, cgroup);
+        let idx = usize::from(asid);
+        if idx >= self.contexts.len() {
+            self.contexts.resize(idx + 1, None);
+        }
+        self.contexts[idx] = Some(cgroup);
     }
 
     fn assign_frames(&mut self, first_frame: u64, count: u64, owner: Owner) {
         self.stats.frame_assigns += 1;
-        for f in first_frame..first_frame + count {
-            self.frames.insert(f, owner);
+        let end = (first_frame + count) as usize;
+        if end > self.frames.len() {
+            self.frames.resize(end, None);
+        }
+        for slot in &mut self.frames[first_frame as usize..end] {
+            self.tracked += usize::from(slot.is_none());
+            *slot = Some(owner);
         }
     }
 
     fn release_frames(&mut self, first_frame: u64, count: u64) {
         self.stats.frame_releases += 1;
-        for f in first_frame..first_frame + count {
-            self.frames.remove(&f);
+        let end = ((first_frame + count) as usize).min(self.frames.len());
+        let start = (first_frame as usize).min(end);
+        for slot in &mut self.frames[start..end] {
+            self.tracked -= usize::from(slot.is_some());
+            *slot = None;
         }
     }
 

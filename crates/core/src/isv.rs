@@ -17,11 +17,12 @@
 //!   interface gives runtime reconfigurability ("swiftly patching gadgets
 //!   without kernel patches", §5.4).
 
-use persp_kernel::callgraph::{CallGraph, FuncId};
+use persp_kernel::callgraph::{CallGraph, FuncId, VaFuncMap};
 use persp_kernel::layout::KTEXT_BASE;
 use persp_kernel::syscalls::Sysno;
 use persp_uarch::isa::INST_BYTES;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// How an ISV was produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,10 +38,24 @@ pub enum IsvKind {
 }
 
 /// An instruction speculation view.
+///
+/// Membership is answered from a dense bitset indexed by [`FuncId`]
+/// (one bit per kernel function) plus the graph's shared VA → function
+/// map — both O(1) probes on the simulation hot path, where the policy
+/// layer queries [`Isv::contains_va`] for every instruction of an
+/// ISV-cache line fill. The function [`HashSet`] is retained only as
+/// construction-time ingest and for set-valued consumers
+/// ([`Isv::funcs`]); the probe paths never touch it.
 #[derive(Debug, Clone)]
 pub struct Isv {
     kind: IsvKind,
     funcs: HashSet<FuncId>,
+    /// Dense membership bitset, bit `f.0` ⇔ function `f` in the view.
+    words: Vec<u64>,
+    /// Shared VA → function map (absent before kernel emission or for
+    /// the unrestricted view; [`Isv::contains_va`] then falls back to
+    /// binary search over `ranges`).
+    va_map: Option<Arc<VaFuncMap>>,
     /// Sorted, disjoint `[start, end)` VA ranges allowed to speculate.
     ranges: Vec<(u64, u64)>,
 }
@@ -71,9 +86,16 @@ impl Isv {
                 _ => merged.push((s, e)),
             }
         }
+        let mut words = vec![0u64; graph.len().div_ceil(64)];
+        for &f in &funcs {
+            words[f.0 as usize / 64] |= 1 << (f.0 % 64);
+        }
+        let va_map = graph.va_map.is_built().then(|| graph.va_map.clone());
         Isv {
             kind,
             funcs,
+            words,
+            va_map,
             ranges: merged,
         }
     }
@@ -100,12 +122,20 @@ impl Isv {
         Self::from_funcs(IsvKind::Dynamic, graph, funcs)
     }
 
+    /// Dynamic ISV from an already-resolved function set (the form the
+    /// tracing harness produces once call targets are attributed).
+    pub fn dynamic_from_funcs(graph: &CallGraph, funcs: HashSet<FuncId>) -> Self {
+        Self::from_funcs(IsvKind::Dynamic, graph, funcs)
+    }
+
     /// The unrestricted view: every kernel instruction may speculate (the
     /// behavior of an unprotected kernel, used as the ISV baseline).
     pub fn unrestricted() -> Self {
         Isv {
             kind: IsvKind::Unrestricted,
             funcs: HashSet::new(),
+            words: Vec::new(),
+            va_map: None,
             ranges: vec![(KTEXT_BASE, u64::MAX)],
         }
     }
@@ -125,15 +155,33 @@ impl Isv {
         &self.funcs
     }
 
-    /// Is this function inside the view?
+    /// Is this function inside the view? O(1) bitset probe.
+    #[inline]
     pub fn contains_func(&self, f: FuncId) -> bool {
-        self.funcs.contains(&f)
+        self.words
+            .get(f.0 as usize / 64)
+            .is_some_and(|w| w >> (f.0 % 64) & 1 == 1)
     }
 
     /// Is the instruction at `va` allowed to execute speculatively?
+    ///
+    /// O(1): resolve the owning function through the shared dense VA map
+    /// and test its membership bit. The entry stub is part of every view
+    /// (it *is* the syscall path), and views without a VA map — the
+    /// unrestricted baseline, or views built before kernel emission —
+    /// fall back to binary search over the allowed ranges.
+    #[inline]
     pub fn contains_va(&self, va: u64) -> bool {
-        let idx = self.ranges.partition_point(|&(s, _)| s <= va);
-        idx > 0 && va < self.ranges[idx - 1].1
+        if va >= STUB_RANGE.0 && va < STUB_RANGE.1 {
+            return true;
+        }
+        match &self.va_map {
+            Some(map) => map.func_of_va(va).is_some_and(|f| self.contains_func(f)),
+            None => {
+                let idx = self.ranges.partition_point(|&(s, _)| s <= va);
+                idx > 0 && va < self.ranges[idx - 1].1
+            }
+        }
     }
 
     /// Remove a function from the view (audit hardening / CVE response /
@@ -141,6 +189,9 @@ impl Isv {
     /// returns whether the function was present.
     pub fn exclude_function(&mut self, graph: &CallGraph, f: FuncId) -> bool {
         let was_present = self.funcs.remove(&f);
+        if let Some(w) = self.words.get_mut(f.0 as usize / 64) {
+            *w &= !(1 << (f.0 % 64));
+        }
         let kf = graph.func(f);
         let (fs, fe) = (
             kf.entry_va,

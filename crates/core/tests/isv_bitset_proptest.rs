@@ -1,0 +1,105 @@
+//! Property test: the ISV's dense-bitset membership representation must
+//! agree exactly with a plain `HashSet` oracle built from the same
+//! function set — for `contains_func` over every function id (including
+//! out-of-range ids) and for `contains_va` over entry, interior,
+//! alignment-padding, and stub-range addresses.
+
+use persp_kernel::body::emit_kernel;
+use persp_kernel::callgraph::{CallGraph, FuncId, KernelConfig};
+use persp_kernel::layout::KTEXT_BASE;
+use perspective::isv::{Isv, IsvKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+thread_local! {
+    /// One emitted small kernel per test thread — generation dominates
+    /// the test's cost, and the graph is immutable after emission.
+    static GRAPH: CallGraph = {
+        let mut g = CallGraph::generate(KernelConfig::test_small());
+        emit_kernel(&mut g);
+        g
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    fn bitset_membership_agrees_with_hashset_oracle(
+        picks in proptest::collection::vec(0u32..10_000, 0..160),
+    ) {
+        GRAPH.with(|g| {
+            let n = g.len() as u32;
+            let oracle: HashSet<FuncId> =
+                picks.iter().map(|&i| FuncId(i % n)).collect();
+            let isv = Isv::from_func_set(g, oracle.clone(), IsvKind::Dynamic);
+
+            // contains_func over the whole id space, plus out-of-range ids.
+            for f in (0..n).chain([n, n + 63, u32::MAX - 1]) {
+                let f = FuncId(f);
+                prop_assert_eq!(
+                    isv.contains_func(f),
+                    oracle.contains(&f),
+                    "contains_func({:?})",
+                    f
+                );
+            }
+            Ok(())
+        })?;
+    }
+
+    fn bitset_va_probes_agree_with_hashset_oracle(
+        picks in proptest::collection::vec(0u32..10_000, 1..120),
+        offsets in proptest::collection::vec(0u64..64, 8),
+    ) {
+        GRAPH.with(|g| {
+            let n = g.len() as u32;
+            let oracle: HashSet<FuncId> =
+                picks.iter().map(|&i| FuncId(i % n)).collect();
+            let isv = Isv::from_func_set(g, oracle.clone(), IsvKind::Dynamic);
+
+            // Probe a spread of functions at entry + interior offsets.
+            for (k, &off) in offsets.iter().enumerate() {
+                let f = FuncId((picks[k % picks.len()] * 7 + k as u32) % n);
+                let kf = g.func(f);
+                let interior = off.min(u64::from(kf.len_insts) - 1) * 4;
+                for va in [kf.entry_va, kf.entry_va + interior] {
+                    prop_assert_eq!(
+                        isv.contains_va(va),
+                        oracle.contains(&f),
+                        "contains_va({:#x}) of {:?}",
+                        va,
+                        f
+                    );
+                }
+            }
+
+            // The dispatch stub is part of every view.
+            prop_assert!(isv.contains_va(KTEXT_BASE));
+            prop_assert!(isv.contains_va(KTEXT_BASE + 0xFFF));
+            Ok(())
+        })?;
+    }
+
+    fn exclusion_clears_bitset_and_oracle_alike(
+        picks in proptest::collection::vec(0u32..10_000, 4..64),
+        victim_idx in 0usize..4,
+    ) {
+        GRAPH.with(|g| {
+            let n = g.len() as u32;
+            let mut oracle: HashSet<FuncId> =
+                picks.iter().map(|&i| FuncId(i % n)).collect();
+            let mut isv = Isv::from_func_set(g, oracle.clone(), IsvKind::Dynamic);
+
+            let victim = FuncId(picks[victim_idx] % n);
+            prop_assert!(isv.exclude_function(g, victim));
+            oracle.remove(&victim);
+
+            prop_assert!(!isv.contains_func(victim));
+            prop_assert!(!isv.contains_va(g.func(victim).entry_va));
+            for &f in &oracle {
+                prop_assert!(isv.contains_func(f), "survivor {:?} stays", f);
+            }
+            Ok(())
+        })?;
+    }
+}

@@ -9,6 +9,7 @@
 //! cache, the ISV cache, and the per-syscall mode.
 
 use persp_kernel::sink::{AllocSink, Owner};
+use persp_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
 use persp_uarch::config::CoreConfig;
 use persp_uarch::hooks::NullHooks;
 use persp_uarch::isa::{AluOp, Cond, Inst, Width};
@@ -18,7 +19,6 @@ use persp_uarch::testkit::{build_program, interpret, Template, POOL_BASE, POOL_S
 use perspective::dsv::DsvTable;
 use perspective::isv::Isv;
 use perspective::policy::{IsvRegistry, PerspectiveConfig, PerspectivePolicy};
-use persp_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -42,8 +42,12 @@ fn arb_op() -> impl Strategy<Value = AluOp> {
 fn arb_template() -> impl Strategy<Value = Template> {
     prop_oneof![
         (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Template::MovImm { dst, imm }),
-        (arb_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, dst, a, b)| Template::Alu { op, dst, a, b }),
+        (arb_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, dst, a, b)| Template::Alu {
+            op,
+            dst,
+            a,
+            b
+        }),
         (arb_reg(), 0..POOL_SLOTS, any::<bool>()).prop_map(|(dst, slot, byte)| Template::Load {
             dst,
             slot,
@@ -105,7 +109,8 @@ fn run_perspective(
     if install_isv {
         // The unrestricted view still exercises the ISV cache machinery.
         isvs.borrow_mut().install(1, Isv::unrestricted());
-        isvs.borrow_mut().install_per_syscall(1, 3, Isv::unrestricted());
+        isvs.borrow_mut()
+            .install_per_syscall(1, 3, Isv::unrestricted());
     }
     let policy = PerspectivePolicy::new(cfg, dsv, isvs);
 

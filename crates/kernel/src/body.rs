@@ -87,6 +87,7 @@ pub fn emit_kernel(graph: &mut CallGraph) -> Vec<(u64, Inst)> {
         va = (va + 63) & !63; // 64-byte align the next function
     }
     graph.va_index = graph.funcs.iter().map(|f| (f.entry_va, f.id)).collect();
+    graph.va_map = std::sync::Arc::new(crate::callgraph::VaFuncMap::build(&graph.funcs));
 
     // Pass 2: emission.
     let mut text = emit_entry_stub();

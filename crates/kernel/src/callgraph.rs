@@ -27,10 +27,70 @@ use crate::syscalls::Sysno;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Identifier of a kernel function (index into [`CallGraph::funcs`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FuncId(pub u32);
+
+/// Dense VA → function-index map over the contiguous function region.
+///
+/// Functions are laid out back-to-back (64-byte aligned) from a single
+/// base address, so one `u32` per 4-byte instruction slot resolves any
+/// text VA to its owning function in O(1) — the lookup the ISV
+/// membership probe performs on every cache-line fill. Alignment
+/// padding between functions maps to [`VaFuncMap::NONE`].
+#[derive(Debug, Clone, Default)]
+pub struct VaFuncMap {
+    /// First mapped VA (the entry of the first function).
+    base: u64,
+    /// Function index per instruction slot; `NONE` for padding.
+    slots: Vec<u32>,
+}
+
+impl VaFuncMap {
+    /// Sentinel for unmapped slots (alignment padding).
+    pub const NONE: u32 = u32::MAX;
+
+    /// Build from emitted functions (requires `entry_va`/`len_insts`
+    /// assigned, i.e. run after [`crate::body::emit_kernel`] pass 1).
+    pub fn build(funcs: &[KFunction]) -> Self {
+        let Some(first) = funcs.first() else {
+            return VaFuncMap::default();
+        };
+        let base = first.entry_va;
+        let end = funcs
+            .last()
+            .map(|f| f.entry_va + u64::from(f.len_insts) * 4)
+            .unwrap_or(base);
+        let mut slots = vec![Self::NONE; ((end - base) / 4) as usize];
+        for f in funcs {
+            let start = ((f.entry_va - base) / 4) as usize;
+            slots[start..start + f.len_insts as usize].fill(f.id.0);
+        }
+        VaFuncMap { base, slots }
+    }
+
+    /// The function containing `va`, if `va` is a mapped text address.
+    #[inline]
+    pub fn func_of_va(&self, va: u64) -> Option<FuncId> {
+        let slot = va.checked_sub(self.base)? / 4;
+        match self.slots.get(slot as usize) {
+            Some(&idx) if idx != Self::NONE => Some(FuncId(idx)),
+            _ => None,
+        }
+    }
+
+    /// True once [`VaFuncMap::build`] has populated the map.
+    pub fn is_built(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Number of instruction slots covered (padding included).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+}
 
 /// Transient-execution gadget categories, following Kasper's taxonomy
 /// (§8.2): microarchitectural-buffer leaks, port contention, and
@@ -279,6 +339,10 @@ pub struct CallGraph {
     next_kpriv: u64,
     /// Sorted `(entry_va, id)` for VA lookup; built during emission.
     pub va_index: Vec<(u64, FuncId)>,
+    /// Dense O(1) VA → function map; built during emission. Shared via
+    /// `Arc` so speculation views can keep a handle without cloning the
+    /// table.
+    pub va_map: Arc<VaFuncMap>,
 }
 
 impl CallGraph {
@@ -299,6 +363,7 @@ impl CallGraph {
             next_global: SHARED_GLOBALS,
             next_kpriv: KDATA_KPRIV_BASE,
             va_index: Vec::new(),
+            va_map: Arc::new(VaFuncMap::default()),
         };
 
         // 1. Syscall entry functions.
@@ -800,6 +865,9 @@ impl CallGraph {
 
     /// The function containing `va`, if any (valid after emission).
     pub fn func_of_va(&self, va: u64) -> Option<FuncId> {
+        if self.va_map.is_built() {
+            return self.va_map.func_of_va(va);
+        }
         let idx = self.va_index.partition_point(|&(entry, _)| entry <= va);
         if idx == 0 {
             return None;

@@ -17,6 +17,7 @@ use persp_uarch::Asid;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A shared allocation-event sink handle.
 pub type SharedSink = Rc<RefCell<dyn AllocSink>>;
@@ -26,12 +27,50 @@ pub type SharedSink = Rc<RefCell<dyn AllocSink>>;
 /// DSV.
 pub const KERNEL_CGROUP: CgroupId = 0;
 
+/// A pre-built kernel image: the generated call graph plus the emitted
+/// text, shareable read-only between simulation instances. Generating the
+/// paper-scale graph (~28 K functions) is by far the most expensive part
+/// of building a [`Kernel`]; the experiment matrix builds one image per
+/// configuration and hands cheap [`Arc`] clones to every worker thread.
+#[derive(Clone)]
+pub struct KernelImage {
+    /// Generator configuration.
+    pub cfg: KernelConfig,
+    /// The synthetic call graph (post-emission: addresses assigned).
+    pub graph: Arc<CallGraph>,
+    /// The emitted kernel text.
+    pub text: Arc<Vec<(u64, persp_uarch::isa::Inst)>>,
+}
+
+impl KernelImage {
+    /// Generate and emit a kernel image.
+    pub fn build(cfg: KernelConfig) -> Self {
+        let mut graph = CallGraph::generate(cfg);
+        let text = emit_kernel(&mut graph);
+        KernelImage {
+            cfg,
+            graph: Arc::new(graph),
+            text: Arc::new(text),
+        }
+    }
+}
+
+impl std::fmt::Debug for KernelImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelImage")
+            .field("functions", &self.graph.len())
+            .field("text_insts", &self.text.len())
+            .finish()
+    }
+}
+
 /// The mini-OS kernel.
 pub struct Kernel {
     /// Generator configuration.
     pub cfg: KernelConfig,
-    /// The synthetic call graph (post-emission: addresses assigned).
-    pub graph: CallGraph,
+    /// The synthetic call graph (post-emission: addresses assigned),
+    /// shared read-only with every instance built from the same image.
+    pub graph: Arc<CallGraph>,
     /// Physical page allocator.
     pub buddy: BuddyAllocator,
     /// Slab allocator (secure variant iff `cfg.secure_slab`).
@@ -41,7 +80,7 @@ pub struct Kernel {
     /// Per-syscall invocation counts (the tracing subsystem's coarse view).
     pub syscall_counts: HashMap<Sysno, u64>,
     sink: SharedSink,
-    text: Vec<(u64, persp_uarch::isa::Inst)>,
+    text: Arc<Vec<(u64, persp_uarch::isa::Inst)>>,
     next_pid: Pid,
     /// Next free address in the extension-program text region.
     pub(crate) next_ebpf_va: u64,
@@ -60,19 +99,25 @@ impl Kernel {
     /// Generate and emit a kernel. `sink` receives every ownership event
     /// (pass Perspective's DSV manager, or a [`NullSink`] for baselines).
     pub fn build(cfg: KernelConfig, sink: SharedSink) -> Self {
-        let mut graph = CallGraph::generate(cfg);
-        let text = emit_kernel(&mut graph);
+        Self::from_image(&KernelImage::build(cfg), sink)
+    }
+
+    /// Build a kernel from a pre-generated image, sharing its call graph
+    /// and text instead of regenerating them. This is what the parallel
+    /// experiment matrix uses: one [`KernelImage::build`] per kernel
+    /// configuration, one `from_image` per (scheme, workload) cell.
+    pub fn from_image(image: &KernelImage, sink: SharedSink) -> Self {
         Kernel {
-            buddy: BuddyAllocator::new(cfg.num_frames),
-            slab: SlabAllocator::new(cfg.secure_slab),
+            buddy: BuddyAllocator::new(image.cfg.num_frames),
+            slab: SlabAllocator::new(image.cfg.secure_slab),
             procs: HashMap::new(),
             syscall_counts: HashMap::new(),
             sink,
-            text,
+            text: image.text.clone(),
             next_pid: 1,
             next_ebpf_va: layout::EBPF_TEXT_BASE,
-            graph,
-            cfg,
+            graph: image.graph.clone(),
+            cfg: image.cfg,
         }
     }
 

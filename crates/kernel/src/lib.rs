@@ -48,6 +48,6 @@ pub mod syscalls;
 
 pub use callgraph::{CallGraph, FuncId, GadgetKind, GadgetSite, KernelConfig};
 pub use context::{CgroupId, Pid, Process};
-pub use kernel::{Kernel, SharedKernel};
+pub use kernel::{Kernel, KernelImage, SharedKernel};
 pub use sink::{AllocSink, NullSink, Owner};
 pub use syscalls::{Sysno, NUM_SYSCALLS};

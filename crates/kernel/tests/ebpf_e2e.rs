@@ -42,9 +42,24 @@ fn ioctl_once(base: u64, arg0: u64) -> Vec<(u64, Inst)> {
 /// A verified counter program: `map[8] += 1`.
 fn counter_program() -> Vec<Inst> {
     vec![
-        Inst::Load { dst: 20, base: EBPF_MAP_REG, offset: 8, width: Width::Q },
-        Inst::AluImm { op: AluOp::Add, dst: 20, a: 20, imm: 1 },
-        Inst::Store { src: 20, base: EBPF_MAP_REG, offset: 8, width: Width::Q },
+        Inst::Load {
+            dst: 20,
+            base: EBPF_MAP_REG,
+            offset: 8,
+            width: Width::Q,
+        },
+        Inst::AluImm {
+            op: AluOp::Add,
+            dst: 20,
+            a: 20,
+            imm: 1,
+        },
+        Inst::Store {
+            src: 20,
+            base: EBPF_MAP_REG,
+            offset: 8,
+            width: Width::Q,
+        },
         Inst::Ret,
     ]
 }
@@ -80,14 +95,22 @@ fn reloading_replaces_the_hook_target() {
     // Second program writes a constant instead.
     let second_prog = vec![
         Inst::MovImm { dst: 20, imm: 0xAA },
-        Inst::Store { src: 20, base: EBPF_MAP_REG, offset: 16, width: Width::Q },
+        Inst::Store {
+            src: 20,
+            base: EBPF_MAP_REG,
+            offset: 16,
+            width: Width::Q,
+        },
         Inst::Ret,
     ];
     let second = shared
         .borrow_mut()
         .load_ebpf(&second_prog, 1, &mut core.machine)
         .expect("verifies");
-    assert_ne!(first.entry_va, second.entry_va, "programs get distinct text");
+    assert_ne!(
+        first.entry_va, second.entry_va,
+        "programs get distinct text"
+    );
     assert_ne!(first.map_va, second.map_va, "programs get distinct maps");
 
     let base = layout::user_text_base(u32::from(asid));
@@ -107,8 +130,18 @@ fn rejected_programs_are_never_installed() {
     let (mut core, shared, asid) = setup();
     // Unguarded dynamic access: rejected.
     let bad = vec![
-        Inst::Alu { op: AluOp::Add, dst: 20, a: EBPF_MAP_REG, b: 10 },
-        Inst::Load { dst: 21, base: 20, offset: 0, width: Width::B },
+        Inst::Alu {
+            op: AluOp::Add,
+            dst: 20,
+            a: EBPF_MAP_REG,
+            b: 10,
+        },
+        Inst::Load {
+            dst: 21,
+            base: 20,
+            offset: 0,
+            width: Width::B,
+        },
         Inst::Ret,
     ];
     assert!(matches!(
@@ -122,7 +155,8 @@ fn rejected_programs_are_never_installed() {
     let base = layout::user_text_base(u32::from(asid));
     core.machine.load_text(ioctl_once(base, 0));
     shared.borrow().set_current(asid, &mut core.machine);
-    core.run(base, 2_000_000).expect("ioctl completes with the stub");
+    core.run(base, 2_000_000)
+        .expect("ioctl completes with the stub");
 }
 
 #[test]

@@ -118,10 +118,7 @@ impl EvictionSet {
         let set_index = ((target / line) % sets) as usize;
         let first = region_base + set_index as u64 * line;
         let addrs = (0..cfg.ways as u64).map(|w| first + w * stride).collect();
-        EvictionSet {
-            addrs,
-            set_index,
-        }
+        EvictionSet { addrs, set_index }
     }
 
     /// The L1-D set this eviction set occupies.

@@ -206,13 +206,15 @@ pub fn compare_bounded(
         .copied()
         .filter(|s| !matches!(s, Sysno::Exit | Sysno::Execve | Sysno::Fork | Sysno::Clone))
         .collect();
-    let _warmup =
-        Fuzzer::new(core, kernel.clone(), asid, 0xF055).campaign(rounds, &all, None);
-    core.machine.mem.write_u64(persp_kernel::layout::SYSCALL_SEQ, 0);
+    let _warmup = Fuzzer::new(core, kernel.clone(), asid, 0xF055).campaign(rounds, &all, None);
+    core.machine
+        .mem
+        .write_u64(persp_kernel::layout::SYSCALL_SEQ, 0);
     let baseline = Fuzzer::new(core, kernel.clone(), asid, 0xF055).campaign(rounds, &all, None);
-    core.machine.mem.write_u64(persp_kernel::layout::SYSCALL_SEQ, 0);
-    let bounded =
-        Fuzzer::new(core, kernel, asid, 0xF055).campaign(rounds, &all, Some(isv_funcs));
+    core.machine
+        .mem
+        .write_u64(persp_kernel::layout::SYSCALL_SEQ, 0);
+    let bounded = Fuzzer::new(core, kernel, asid, 0xF055).campaign(rounds, &all, Some(isv_funcs));
     (baseline, bounded)
 }
 

@@ -110,17 +110,16 @@ pub fn scan_function(func: &KFunction, fetch: impl Fn(u64) -> Option<Inst>) -> V
                 }
                 mem_loaded[dst as usize] = true;
             }
-            Inst::Store { src, .. }
-                if taint[src as usize] == Taint::Secret => {
-                    if let Some(access_pc) = last_access {
-                        findings.push(Finding {
-                            func: func.id,
-                            access_pc,
-                            transmit_pc: pc,
-                            kind: GadgetKind::Mds,
-                        });
-                    }
+            Inst::Store { src, .. } if taint[src as usize] == Taint::Secret => {
+                if let Some(access_pc) = last_access {
+                    findings.push(Finding {
+                        func: func.id,
+                        access_pc,
+                        transmit_pc: pc,
+                        kind: GadgetKind::Mds,
+                    });
                 }
+            }
             Inst::Branch { cond, a, b, .. } => {
                 // A guard is a bounds comparison of an attacker value
                 // against a freshly memory-loaded limit.

@@ -736,7 +736,9 @@ impl Core {
             if head.inst.is_serializing() && !head.computed {
                 let inst = head.inst;
                 let e = self.rob.front_mut().expect("nonempty");
-                if let Inst::RdTsc { .. } = inst { e.value = self.now }
+                if let Inst::RdTsc { .. } = inst {
+                    e.value = self.now
+                }
                 e.ready_at = self.now;
                 e.computed = true;
             }
@@ -799,10 +801,9 @@ impl Core {
                         trace.insert(target);
                     }
                 }
-                Inst::Ret
-                    if self.machine.call_stack.pop().is_none() => {
-                        return Err(SimError::CallStackUnderflow { pc: entry.pc });
-                    }
+                Inst::Ret if self.machine.call_stack.pop().is_none() => {
+                    return Err(SimError::CallStackUnderflow { pc: entry.pc });
+                }
                 Inst::Syscall => {
                     self.stats.syscalls += 1;
                     if let Some(trace) = &mut self.call_trace {

@@ -34,15 +34,40 @@ fn victim_program() -> Vec<(u64, Inst)> {
     a.load(2, 1, 0); // bound
     let skip = a.new_label();
     a.branch(Cond::Geu, 20, 2, skip); // architecturally skips when OOB
-    // In-bounds path — speculative on the attack run.
+                                      // In-bounds path — speculative on the attack run.
     a.movi(3, ARR_BASE);
-    a.push(Inst::Alu { op: AluOp::Add, dst: 4, a: 3, b: 20 });
-    a.push(Inst::Load { dst: 5, base: 4, offset: 0, width: Width::B });
+    a.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: 4,
+        a: 3,
+        b: 20,
+    });
+    a.push(Inst::Load {
+        dst: 5,
+        base: 4,
+        offset: 0,
+        width: Width::B,
+    });
     a.movi(6, 12); // log2(4096)
-    a.push(Inst::Alu { op: AluOp::Shl, dst: 7, a: 5, b: 6 });
+    a.push(Inst::Alu {
+        op: AluOp::Shl,
+        dst: 7,
+        a: 5,
+        b: 6,
+    });
     a.movi(8, PROBE_BASE);
-    a.push(Inst::Alu { op: AluOp::Add, dst: 9, a: 8, b: 7 });
-    a.push(Inst::Load { dst: 10, base: 9, offset: 0, width: Width::Q });
+    a.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: 9,
+        a: 8,
+        b: 7,
+    });
+    a.push(Inst::Load {
+        dst: 10,
+        base: 9,
+        offset: 0,
+        width: Width::Q,
+    });
     a.bind(skip);
     a.push(Inst::Halt);
     a.finish()

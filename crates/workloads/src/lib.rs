@@ -19,6 +19,8 @@ pub mod spec;
 
 pub use apps::App;
 pub use runner::{
-    measure, measure_cfg, measure_per_syscall, measure_schemes, overhead, Measurement, SimInstance,
+    measure, measure_cfg, measure_image, measure_image_cfg, measure_per_syscall,
+    measure_per_syscall_image, measure_schemes, num_threads, overhead, run_matrix, run_parallel,
+    run_parallel_with, trace_to_funcs, Measurement, SimInstance,
 };
 pub use spec::{ArgVal, SyscallStep, Workload};

@@ -14,9 +14,10 @@
 //! 4. **ROI run**, measured as a statistics delta (LEBench methodology).
 
 use crate::spec::Workload;
-use persp_kernel::callgraph::KernelConfig;
-use persp_kernel::kernel::{Kernel, SharedKernel};
+use persp_kernel::callgraph::{CallGraph, FuncId, KernelConfig};
+use persp_kernel::kernel::{Kernel, KernelImage, SharedKernel};
 use persp_kernel::layout;
+use persp_kernel::sink::NullSink;
 use persp_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
 use persp_scanner::scanner::scan_bounded;
 use persp_uarch::config::CoreConfig;
@@ -29,6 +30,11 @@ use perspective::hwcache::HwCacheStats;
 use perspective::isv::Isv;
 use perspective::policy::{FenceBreakdown, PerspectiveConfig, PerspectivePolicy};
 use perspective::scheme::Scheme;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One measured region of interest.
 #[derive(Debug, Clone)]
@@ -84,10 +90,23 @@ impl SimInstance {
     /// Build with an explicit Perspective configuration (for the §9.2
     /// ablations, e.g. disabling unknown-allocation blocking).
     pub fn with_config(scheme: Scheme, kcfg: KernelConfig, pcfg: PerspectiveConfig) -> Self {
+        Self::from_image_cfg(scheme, &KernelImage::build(kcfg), pcfg)
+    }
+
+    /// Build an instance from a pre-generated kernel image (cgroup 1).
+    pub fn from_image(scheme: Scheme, image: &KernelImage) -> Self {
+        Self::from_image_cfg(scheme, image, PerspectiveConfig::default())
+    }
+
+    /// [`SimInstance::from_image`] with an explicit Perspective
+    /// configuration. The image's call graph and text are shared, not
+    /// regenerated — this is the constructor the parallel experiment
+    /// matrix uses for every cell.
+    pub fn from_image_cfg(scheme: Scheme, image: &KernelImage, pcfg: PerspectiveConfig) -> Self {
         let perspective = scheme.is_perspective().then(Perspective::new);
         let kernel = match &perspective {
-            Some(p) => Kernel::build(kcfg, p.sink()),
-            None => Kernel::build_unprotected(kcfg),
+            Some(p) => Kernel::from_image(image, p.sink()),
+            None => Kernel::from_image(image, Rc::new(RefCell::new(NullSink))),
         };
         let shared = SharedKernel::new(kernel);
         let mut machine = Machine::new();
@@ -142,20 +161,26 @@ impl SimInstance {
     }
 }
 
+/// Resolve a raw call trace (committed call-target VAs) to the set of
+/// traced kernel functions. One dense-map probe per distinct VA; the
+/// result feeds [`Isv::dynamic_from_funcs`] without further VA decoding.
+pub fn trace_to_funcs(graph: &CallGraph, trace: &HashSet<u64>) -> HashSet<FuncId> {
+    trace
+        .iter()
+        .filter_map(|&va| graph.func_of_va(va))
+        .collect()
+}
+
 /// The per-scheme ISV used for a workload: static from the declared
 /// profile, dynamic from the warmup trace, ISV++ audit-hardened.
-fn build_isv(
-    instance: &SimInstance,
-    workload: &Workload,
-    trace: &std::collections::HashSet<u64>,
-) -> Option<Isv> {
+fn build_isv(instance: &SimInstance, workload: &Workload, trace: &HashSet<FuncId>) -> Option<Isv> {
     let kernel = instance.kernel.borrow();
     let graph = &kernel.graph;
     match instance.scheme {
         Scheme::PerspectiveStatic => Some(Isv::static_for(graph, &workload.syscall_profile())),
-        Scheme::Perspective => Some(Isv::dynamic_from_trace(graph, trace)),
+        Scheme::Perspective => Some(Isv::dynamic_from_funcs(graph, trace.clone())),
         Scheme::PerspectivePlusPlus => {
-            let dynamic = Isv::dynamic_from_trace(graph, trace);
+            let dynamic = Isv::dynamic_from_funcs(graph, trace.clone());
             let report = scan_bounded(graph, dynamic.funcs(), |pc| {
                 instance.core.machine.inst_at(pc)
             });
@@ -182,7 +207,22 @@ pub fn measure_cfg(
     workload: &Workload,
     pcfg: PerspectiveConfig,
 ) -> Measurement {
-    let mut instance = SimInstance::with_config(scheme, kcfg, pcfg);
+    measure_image_cfg(scheme, &KernelImage::build(kcfg), workload, pcfg)
+}
+
+/// [`measure`] against a pre-generated kernel image.
+pub fn measure_image(scheme: Scheme, image: &KernelImage, workload: &Workload) -> Measurement {
+    measure_image_cfg(scheme, image, workload, PerspectiveConfig::default())
+}
+
+/// [`measure_cfg`] against a pre-generated kernel image.
+pub fn measure_image_cfg(
+    scheme: Scheme,
+    image: &KernelImage,
+    workload: &Workload,
+    pcfg: PerspectiveConfig,
+) -> Measurement {
+    let mut instance = SimInstance::from_image_cfg(scheme, image, pcfg);
     let text = instance.text_base();
     let data = instance.data_base();
 
@@ -194,7 +234,8 @@ pub fn measure_cfg(
         .core
         .run(text, 80_000_000)
         .unwrap_or_else(|e| panic!("warmup of {} under {scheme} failed: {e}", workload.name));
-    let trace = instance.core.take_call_trace();
+    let raw_trace = instance.core.take_call_trace();
+    let trace = trace_to_funcs(&image.graph, &raw_trace);
 
     // Install the scheme's view.
     let isv = build_isv(&instance, workload, &trace);
@@ -232,11 +273,20 @@ pub fn measure_cfg(
 /// flushing the ISV cache on each switch. Only meaningful for
 /// Perspective schemes.
 pub fn measure_per_syscall(scheme: Scheme, kcfg: KernelConfig, workload: &Workload) -> Measurement {
+    measure_per_syscall_image(scheme, &KernelImage::build(kcfg), workload)
+}
+
+/// [`measure_per_syscall`] against a pre-generated kernel image.
+pub fn measure_per_syscall_image(
+    scheme: Scheme,
+    image: &KernelImage,
+    workload: &Workload,
+) -> Measurement {
     let pcfg = PerspectiveConfig {
         per_syscall_isv: true,
         ..PerspectiveConfig::default()
     };
-    let mut instance = SimInstance::with_config(scheme, kcfg, pcfg);
+    let mut instance = SimInstance::from_image_cfg(scheme, image, pcfg);
     let text = instance.text_base();
     let data = instance.data_base();
 
@@ -294,10 +344,92 @@ pub fn measure_schemes(
     kcfg: KernelConfig,
     workload: &Workload,
 ) -> Vec<Measurement> {
-    schemes
-        .iter()
-        .map(|&s| measure(s, kcfg, workload))
-        .collect()
+    let image = KernelImage::build(kcfg);
+    run_parallel(schemes.to_vec(), |s| measure_image(s, &image, workload))
+}
+
+/// Worker-pool width: the `PERSPECTIVE_THREADS` environment variable when
+/// it parses to a positive integer, else the machine's available
+/// parallelism. `PERSPECTIVE_THREADS=1` forces fully serial execution.
+pub fn num_threads() -> usize {
+    std::env::var("PERSPECTIVE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Run `f` over `jobs` on a scoped worker pool of `threads` threads.
+///
+/// Results come back **in job order** — workers pull jobs from a shared
+/// atomic cursor, so completion order is nondeterministic, but each
+/// result is keyed by its job index and the returned vector is identical
+/// to `jobs.into_iter().map(f).collect()` whatever the thread count.
+/// A panic in any job propagates to the caller.
+pub fn run_parallel_with<T, R>(threads: usize, jobs: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let n = jobs.len();
+    if threads <= 1 || n <= 1 {
+        return jobs.into_iter().map(f).collect();
+    }
+    let workers = threads.min(n);
+    let slots: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(i) else { break };
+                        let job = slot.lock().unwrap().take().expect("each job taken once");
+                        out.push((i, f(job)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`run_parallel_with`] at the [`num_threads`] default width.
+pub fn run_parallel<T: Send, R: Send>(jobs: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    run_parallel_with(num_threads(), jobs, f)
+}
+
+/// Measure every (workload, scheme) cell of an experiment matrix in
+/// parallel, sharing one pre-generated kernel image across all workers.
+///
+/// Results are ordered workload-major and scheme-minor regardless of
+/// which worker finishes first: cell `(w, s)` is at index
+/// `w * schemes.len() + s`, so `chunks(schemes.len())` yields one
+/// per-workload row after another, each in `schemes` order — exactly the
+/// sequence the serial per-cell loops produced.
+pub fn run_matrix(
+    image: &KernelImage,
+    schemes: &[Scheme],
+    workloads: &[Workload],
+) -> Vec<Measurement> {
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..schemes.len()).map(move |s| (w, s)))
+        .collect();
+    run_parallel(jobs, |(w, s)| {
+        measure_image(schemes[s], image, &workloads[w])
+    })
 }
 
 /// Normalized overhead of `m` versus a baseline measurement.

@@ -1,0 +1,77 @@
+//! The parallel experiment matrix must be a pure optimization: the same
+//! measurement sequence, byte for byte, whatever the worker count.
+
+use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::kernel::KernelImage;
+use persp_workloads::{lebench, runner};
+use perspective::scheme::Scheme;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Render a measurement sequence to its full debug form — any field
+/// diverging between runs shows up as a byte difference.
+fn render(ms: &[runner::Measurement]) -> String {
+    ms.iter().map(|m| format!("{m:?}\n")).collect::<String>()
+}
+
+#[test]
+fn matrix_is_identical_serial_and_parallel() {
+    let image = KernelImage::build(KernelConfig::test_small());
+    let schemes = [Scheme::Unsafe, Scheme::Fence, Scheme::Perspective];
+    let workloads = vec![
+        lebench::by_name("getpid").unwrap(),
+        lebench::by_name("small-read").unwrap(),
+    ];
+
+    // This test owns PERSPECTIVE_THREADS while it runs: the other tests
+    // in this binary pass explicit widths and never read the variable.
+    std::env::set_var("PERSPECTIVE_THREADS", "1");
+    assert_eq!(runner::num_threads(), 1);
+    let serial = runner::run_matrix(&image, &schemes, &workloads);
+
+    std::env::set_var("PERSPECTIVE_THREADS", "8");
+    assert_eq!(runner::num_threads(), 8);
+    let parallel = runner::run_matrix(&image, &schemes, &workloads);
+    std::env::remove_var("PERSPECTIVE_THREADS");
+
+    assert_eq!(serial.len(), schemes.len() * workloads.len());
+    assert_eq!(
+        render(&serial),
+        render(&parallel),
+        "measurement sequences must be byte-identical across thread counts"
+    );
+    // Ordering is workload-major, scheme-minor.
+    for (w, row) in workloads.iter().zip(serial.chunks(schemes.len())) {
+        for (s, m) in schemes.iter().zip(row) {
+            assert_eq!(m.workload, w.name);
+            assert_eq!(m.scheme, *s);
+        }
+    }
+}
+
+#[test]
+fn run_parallel_preserves_job_order_under_contention() {
+    // Jobs whose completion order is deliberately scrambled (later jobs
+    // finish first) must still come back in submission order.
+    let jobs: Vec<usize> = (0..64).collect();
+    let started = AtomicUsize::new(0);
+    let results = runner::run_parallel_with(8, jobs, |i| {
+        started.fetch_add(1, Ordering::Relaxed);
+        // Earlier jobs spin longest.
+        let spin = (64 - i) * 500;
+        let mut acc = i as u64;
+        for k in 0..spin {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k as u64);
+        }
+        std::hint::black_box(acc);
+        i * 2
+    });
+    assert_eq!(started.load(Ordering::Relaxed), 64);
+    assert_eq!(results, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+}
+
+#[test]
+fn run_parallel_serial_width_matches_map() {
+    let jobs = vec![3usize, 1, 4, 1, 5];
+    let doubled = runner::run_parallel_with(1, jobs.clone(), |x| x * 2);
+    assert_eq!(doubled, jobs.into_iter().map(|x| x * 2).collect::<Vec<_>>());
+}

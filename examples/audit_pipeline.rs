@@ -16,21 +16,22 @@
 
 use persp_bench::trace_workload;
 use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::kernel::KernelImage;
 use persp_scanner::{scan_bounded, scan_kernel};
 use persp_workloads::lebench;
 use perspective::isv::Isv;
 use perspective::scheme::Scheme;
 
 fn main() {
-    let kcfg = KernelConfig::paper();
+    let image = KernelImage::build(KernelConfig::paper());
     let workload = lebench::by_name("small-read").expect("suite entry");
 
     // 1. Dynamic ISV from a real execution trace.
-    let trace = trace_workload(kcfg, &workload);
-    let inst = persp_workloads::SimInstance::new(Scheme::Perspective, kcfg);
+    let trace = trace_workload(&image, &workload);
+    let inst = persp_workloads::SimInstance::from_image(Scheme::Perspective, &image);
     let kernel = inst.kernel.borrow();
     let graph = &kernel.graph;
-    let isv = Isv::dynamic_from_trace(graph, &trace);
+    let isv = Isv::dynamic_from_funcs(graph, trace);
     println!(
         "dynamic ISV: {} of {} kernel functions ({:.1}% surface reduction)",
         isv.num_funcs(),

@@ -38,7 +38,10 @@ fn main() {
     drop(kernel);
 
     println!("tenant A = asid {a}, tenant B = asid {b}\n");
-    println!("{:<38} {:>12} {:>12}", "kernel object", "A's DSV", "B's DSV");
+    println!(
+        "{:<38} {:>12} {:>12}",
+        "kernel object", "A's DSV", "B's DSV"
+    );
     let mut table = dsv.borrow_mut();
     for (name, va) in [
         ("A's task_struct", task_a),

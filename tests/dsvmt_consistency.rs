@@ -22,8 +22,10 @@ use std::rc::Rc;
 type SharedTee = Rc<RefCell<TeeSink<DsvTable, DsvmtMirror>>>;
 
 fn setup() -> (Core, SharedKernel, SharedTee, u16, u16) {
-    let tee: SharedTee =
-        Rc::new(RefCell::new(TeeSink::new(DsvTable::new(), DsvmtMirror::new())));
+    let tee: SharedTee = Rc::new(RefCell::new(TeeSink::new(
+        DsvTable::new(),
+        DsvmtMirror::new(),
+    )));
     let kernel = Kernel::build(KernelConfig::test_small(), tee.clone());
     let shared = SharedKernel::new(kernel);
     let mut machine = Machine::new();
@@ -127,5 +129,8 @@ fn huge_granules_keep_the_mirror_compact() {
         total < 40_000,
         "tree footprint l1={l1} l2={l2} l3={l3} should stay compact"
     );
-    assert!(l1 > 0, "1 GiB entries are in use for the big shared regions");
+    assert!(
+        l1 > 0,
+        "1 GiB entries are in use for the big shared regions"
+    );
 }

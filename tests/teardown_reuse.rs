@@ -26,8 +26,10 @@ use std::rc::Rc;
 type SharedTee = Rc<RefCell<TeeSink<DsvTable, DsvmtMirror>>>;
 
 fn setup() -> (Core, SharedKernel, SharedTee) {
-    let tee: SharedTee =
-        Rc::new(RefCell::new(TeeSink::new(DsvTable::new(), DsvmtMirror::new())));
+    let tee: SharedTee = Rc::new(RefCell::new(TeeSink::new(
+        DsvTable::new(),
+        DsvmtMirror::new(),
+    )));
     let kernel = Kernel::build(KernelConfig::test_small(), tee.clone());
     let shared = SharedKernel::new(kernel);
     let mut machine = Machine::new();
@@ -98,8 +100,15 @@ fn dead_tenants_frames_leave_every_view() {
             class == DsvClass::Unknown,
             "freed frame {f} should be Unknown, got {class:?}"
         );
-        assert!(!t.b.walk(b, va).in_view, "mirror still shows frame {f} in a view");
-        assert_eq!(shared.borrow().buddy.owner_of(f), None, "buddy still tracks owner");
+        assert!(
+            !t.b.walk(b, va).in_view,
+            "mirror still shows frame {f} in a view"
+        );
+        assert_eq!(
+            shared.borrow().buddy.owner_of(f),
+            None,
+            "buddy still tracks owner"
+        );
     }
 }
 
@@ -130,7 +139,10 @@ fn reused_frames_belong_to_the_new_tenant_alone() {
     for &f in &reused {
         let va = layout::frame_to_va(f);
         assert_eq!(t.a.classify(va, c), DsvClass::Owned, "frame {f} owned by C");
-        assert!(t.b.walk(c, va).in_view, "mirror agrees frame {f} is in C's view");
+        assert!(
+            t.b.walk(c, va).in_view,
+            "mirror agrees frame {f} is in C's view"
+        );
         assert_eq!(
             shared.borrow().buddy.owner_of(f),
             Some(Owner::Cgroup(33)),

@@ -1,0 +1,553 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this crate implements
+//! the subset of proptest's API the workspace tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, range / tuple / `Just` /
+//! [`any`] strategies, [`collection::vec`], the [`prop_oneof!`] union
+//! macro, and the [`proptest!`] test-harness macro with
+//! `#![proptest_config(..)]`.
+//!
+//! Semantics differ from real proptest in one deliberate way: failing
+//! inputs are **not shrunk** — a failing case panics with the generated
+//! values' `Debug` output instead. Generation is fully deterministic,
+//! seeded per test from the test's module path and name, so failures
+//! reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+/// Runtime configuration for a `proptest!` block.
+///
+/// Mirrors the fields the workspace sets on proptest's
+/// `test_runner::Config`. `max_shrink_iters` is accepted for source
+/// compatibility; this harness never shrinks.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that differs from the default only in case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic source of randomness behind `proptest!`.
+
+    pub use crate::ProptestConfig as Config;
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Failure raised by `prop_assert!`-family macros. Test bodies run as
+    /// `Result<(), TestCaseError>` closures, so `?` works inside them as
+    /// it does under real proptest.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failed-case error with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic generator handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// Seed from a test's fully qualified name, so every test owns a
+        /// stable, independent random stream.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(SmallRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating random values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value *tree* — strategies
+    /// produce plain values and failures are not shrunk.
+    pub trait Strategy {
+        /// The type this strategy generates.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies
+    /// (built by [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from non-empty alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].new_value(rng)
+        }
+    }
+
+    /// Box a strategy as a [`Union`] arm (used by `prop_oneof!`).
+    pub fn boxed_arm<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Types with a canonical "any value" strategy (see [`any`]).
+    pub trait Arbitrary {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy over all values of `T` (returned by [`any`]).
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Accepted vector-length specifications: `a..b` or an exact count.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize, // exclusive
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                start: *r.start(),
+                end: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random in-range length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a proptest-using test file needs in scope.
+
+    pub use crate::collection;
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Map, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// `prop::collection::vec(..)`-style paths.
+    pub use crate as prop;
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed_arm($arm)),+])
+    };
+}
+
+/// Assert inside a `proptest!` body: early-returns a
+/// [`test_runner::TestCaseError`] (the body is a `Result` closure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{left:?}`\n right: `{right:?}`",
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*),
+        );
+    }};
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{left:?}`\n right: `{right:?}`",
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*),
+        );
+    }};
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` that runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let strategy = ($(($strat),)+);
+                for case in 0..config.cases {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::new_value(&strategy, &mut rng);
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case} of {}: {e}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_map_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let s = (0u8..4, 10u64..20).prop_map(|(a, b)| (a as u64) * 100 + b);
+        for _ in 0..1000 {
+            let v = s.new_value(&mut rng);
+            assert!((10..320).contains(&v));
+            assert!((10..20).contains(&(v % 100)));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::from_name("oneof");
+        let s = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.new_value(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn vec_respects_both_size_forms() {
+        let mut rng = TestRng::from_name("vec");
+        let ranged = collection::vec(0u64..5, 1..8);
+        let exact = collection::vec(any::<bool>(), 3usize);
+        for _ in 0..200 {
+            let v = ranged.new_value(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+            assert_eq!(exact.new_value(&mut rng).len(), 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let s = collection::vec(any::<u64>(), 4usize);
+        let mut a = TestRng::from_name("same");
+        let mut b = TestRng::from_name("same");
+        assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro itself: multiple args, trailing comma, config.
+        #[test]
+        fn macro_form_generates_in_range(
+            xs in prop::collection::vec(0u32..7, 1..5),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            for x in xs {
+                prop_assert!(x < 7, "x={x} flag={flag}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_form_without_config(seed in any::<[u64; 2]>()) {
+            prop_assert_eq!(seed.len(), 2);
+        }
+    }
+}
