@@ -16,4 +16,17 @@ cargo build --release
 echo "==> cargo test (PERSPECTIVE_KERNEL=small)"
 PERSPECTIVE_KERNEL=small cargo test -q --release
 
+echo "==> experiment --json output vs checked-in baselines (small kernel)"
+mkdir -p target/bench-json
+for exp in fig_9_2 table_10_1; do
+    PERSPECTIVE_KERNEL=small PERSPECTIVE_THREADS=4 \
+        ./target/release/"$exp" --json >"target/bench-json/$exp.json"
+    ./target/release/json_check <"target/bench-json/$exp.json"
+    if ! diff -u "BENCH_$exp.json" "target/bench-json/$exp.json"; then
+        echo "ci: $exp --json drifted from BENCH_$exp.json" >&2
+        echo "ci: if the change is intended, regenerate the baseline (see EXPERIMENTS.md)" >&2
+        exit 1
+    fi
+done
+
 echo "ci: all gates passed"

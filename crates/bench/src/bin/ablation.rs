@@ -5,6 +5,7 @@
 //! disjoint attack classes; this ablation shows their costs are largely
 //! additive and individually small.
 
+use persp_bench::report::{self, Json};
 use persp_bench::{header, kernel_image, pct};
 use persp_workloads::{lebench, runner};
 use perspective::policy::PerspectiveConfig;
@@ -12,11 +13,6 @@ use perspective::scheme::Scheme;
 
 fn main() {
     let image = kernel_image();
-    header(
-        "Ablation: DSV-only / ISV-only / full Perspective",
-        "design analysis (§5.1, §9.2)",
-    );
-
     let configs: [(&str, PerspectiveConfig); 3] = [
         (
             "DSV only",
@@ -35,11 +31,6 @@ fn main() {
         ("DSV + ISV", PerspectiveConfig::default()),
     ];
 
-    println!(
-        "{:<14} | {:>10} | {:>10} | {:>10}",
-        "test", "DSV only", "ISV only", "DSV+ISV"
-    );
-    println!("{}", "-".repeat(54));
     let names = [
         "getpid",
         "select",
@@ -62,6 +53,35 @@ fn main() {
             Some(cfg) => runner::measure_image_cfg(Scheme::Perspective, &image, &workload, cfg),
         }
     });
+
+    if report::json_mode() {
+        let json_rows = names
+            .iter()
+            .zip(cells.chunks(1 + configs.len()))
+            .map(|(name, row)| {
+                let base = &row[0];
+                let mut fields = vec![("workload", Json::str(*name))];
+                for ((cfg_name, _), m) in configs.iter().zip(&row[1..]) {
+                    let ov = m.stats.cycles as f64 / base.stats.cycles.max(1) as f64 - 1.0;
+                    fields.push((*cfg_name, Json::str(pct(ov))));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        let doc = report::experiment_json("ablation", vec![("rows", Json::Array(json_rows))]);
+        report::emit(&doc);
+        return;
+    }
+
+    header(
+        "Ablation: DSV-only / ISV-only / full Perspective",
+        "design analysis (§5.1, §9.2)",
+    );
+    println!(
+        "{:<14} | {:>10} | {:>10} | {:>10}",
+        "test", "DSV only", "ISV only", "DSV+ISV"
+    );
+    println!("{}", "-".repeat(54));
     for (name, row) in names.iter().zip(cells.chunks(1 + configs.len())) {
         let base = &row[0];
         print!("{name:<14}");

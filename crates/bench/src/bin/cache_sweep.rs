@@ -4,6 +4,7 @@
 //! this sweep shows how much headroom the design point has in either
 //! direction — the justification a hardware architect would ask for.
 
+use persp_bench::report::{self, Json};
 use persp_bench::{header, kernel_image, norm, pct};
 use persp_workloads::lebench;
 use persp_workloads::runner;
@@ -14,11 +15,6 @@ const SIZES: [usize; 5] = [16, 32, 64, 128, 256];
 
 fn main() {
     let image = kernel_image();
-    header(
-        "Ablation: ISV/DSVMT cache size sweep",
-        "paper §9.2 hit rates + Table 9.1 design point",
-    );
-
     // A syscall-mixing workload stresses the caches hardest: union the
     // pools of three LEBench tests.
     let mut w = lebench::by_name("small-read").expect("suite test");
@@ -47,6 +43,41 @@ fn main() {
     .into_iter();
     let base = cells.next().expect("baseline cell").stats.cycles as f64;
 
+    if report::json_mode() {
+        let json_rows = SIZES
+            .into_iter()
+            .zip(cells)
+            .map(|(entries, m)| {
+                let fences_per_ki = m.fences.map_or(0.0, |f| {
+                    1000.0 * f.isv as f64 / m.stats.committed_insts.max(1) as f64
+                });
+                Json::obj(vec![
+                    ("entries", Json::UInt(entries as u64)),
+                    ("latency", Json::str(norm(m.stats.cycles as f64 / base))),
+                    (
+                        "isv_hit_rate",
+                        Json::str(pct(m.isv_cache.map_or(0.0, |c| c.hit_rate()))),
+                    ),
+                    (
+                        "dsvmt_hit_rate",
+                        Json::str(pct(m.dsvmt_cache.map_or(0.0, |c| c.hit_rate()))),
+                    ),
+                    (
+                        "isv_fences_per_ki",
+                        Json::str(format!("{fences_per_ki:.2}")),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = report::experiment_json("cache_sweep", vec![("rows", Json::Array(json_rows))]);
+        report::emit(&doc);
+        return;
+    }
+
+    header(
+        "Ablation: ISV/DSVMT cache size sweep",
+        "paper §9.2 hit rates + Table 9.1 design point",
+    );
     println!(
         "{:<8} | {:>10} | {:>12} | {:>12} | {:>14}",
         "entries", "latency", "ISV hit", "DSVMT hit", "ISV fences/ki"

@@ -3,35 +3,77 @@
 //! Used to tune the generator toward the Table 8.1/8.2 targets; see
 //! DESIGN.md §6.
 
+use persp_bench::report::{self, Json};
 use persp_kernel::body::emit_kernel;
 use persp_kernel::callgraph::{CallGraph, KernelConfig};
 use persp_workloads::{apps, lebench};
 use std::time::Instant;
 
 fn main() {
+    let json = report::json_mode();
     let t0 = Instant::now();
     let mut g = CallGraph::generate(KernelConfig::paper());
     emit_kernel(&mut g);
-    println!("kernel build: {:?}, {} funcs", t0.elapsed(), g.len());
+    if !json {
+        // Wall-clock timings never appear in the JSON document (it must
+        // be byte-stable across runs and machines).
+        println!("kernel build: {:?}, {} funcs", t0.elapsed(), g.len());
+    }
 
     let mut profiles: Vec<(&str, Vec<persp_kernel::syscalls::Sysno>)> =
         vec![("LEBench", lebench::union_profile())];
     for app in apps::apps() {
         profiles.push((app.workload.name, app.workload.syscall_profile()));
     }
+    let mut json_rows = Vec::new();
     for (name, prof) in &profiles {
         let stat = g.static_reachable(prof);
         let live = g.live_reachable(prof);
         let gall = g.gadgets.len();
         let gs = g.gadgets_within(&stat).len();
         let gl = g.gadgets_within(&live).len();
-        println!(
-            "{name:12} syscalls={:2} static={:5} ({:.1}%) live={:5} ({:.1}%)  gadgets in static {:.1}% live {:.1}%",
-            prof.len(),
-            stat.len(), 100.0 * stat.len() as f64 / g.len() as f64,
-            live.len(), 100.0 * live.len() as f64 / g.len() as f64,
-            100.0 * gs as f64 / gall as f64,
-            100.0 * gl as f64 / gall as f64,
+        if json {
+            json_rows.push(Json::obj(vec![
+                ("profile", Json::str(name.to_string())),
+                ("syscalls", Json::UInt(prof.len() as u64)),
+                ("static_funcs", Json::UInt(stat.len() as u64)),
+                ("live_funcs", Json::UInt(live.len() as u64)),
+                (
+                    "static_pct",
+                    Json::str(format!("{:.1}", 100.0 * stat.len() as f64 / g.len() as f64)),
+                ),
+                (
+                    "live_pct",
+                    Json::str(format!("{:.1}", 100.0 * live.len() as f64 / g.len() as f64)),
+                ),
+                (
+                    "gadgets_in_static_pct",
+                    Json::str(format!("{:.1}", 100.0 * gs as f64 / gall as f64)),
+                ),
+                (
+                    "gadgets_in_live_pct",
+                    Json::str(format!("{:.1}", 100.0 * gl as f64 / gall as f64)),
+                ),
+            ]));
+        } else {
+            println!(
+                "{name:12} syscalls={:2} static={:5} ({:.1}%) live={:5} ({:.1}%)  gadgets in static {:.1}% live {:.1}%",
+                prof.len(),
+                stat.len(), 100.0 * stat.len() as f64 / g.len() as f64,
+                live.len(), 100.0 * live.len() as f64 / g.len() as f64,
+                100.0 * gs as f64 / gall as f64,
+                100.0 * gl as f64 / gall as f64,
+            );
+        }
+    }
+    if json {
+        let doc = report::experiment_json(
+            "calibrate",
+            vec![
+                ("kernel_funcs", Json::UInt(g.len() as u64)),
+                ("rows", Json::Array(json_rows)),
+            ],
         );
+        report::emit(&doc);
     }
 }

@@ -3,12 +3,16 @@
 //! tune the timing model toward the Figure 9.2/9.3 targets; see
 //! DESIGN.md §6.
 
+use persp_bench::report::{self, Json};
 use persp_kernel::callgraph::KernelConfig;
 use persp_workloads::{apps, lebench, runner};
 use perspective::scheme::Scheme;
 use std::time::Instant;
 
 fn main() {
+    // Wall-clock timings (`t0.elapsed()`) never appear in the JSON
+    // document: it must be byte-stable across runs and machines.
+    let json = report::json_mode();
     let kcfg = KernelConfig::paper();
     let schemes = [
         Scheme::Unsafe,
@@ -16,15 +20,43 @@ fn main() {
         Scheme::PerspectiveStatic,
         Scheme::Perspective,
     ];
+    let mut json_rows = Vec::new();
     for name in ["getpid", "select", "small-read", "big-fork", "page-fault"] {
         let w = lebench::by_name(name).unwrap();
         let t0 = Instant::now();
         let ms = runner::measure_schemes(&schemes, kcfg, &w);
+        let m = &ms[3];
+        if json {
+            let mut fields = vec![("workload", Json::str(name))];
+            for m in &ms[1..] {
+                fields.push((
+                    m.scheme.name(),
+                    Json::str(format!("{:+.1}%", 100.0 * runner::overhead(m, &ms[0]))),
+                ));
+            }
+            fields.push((
+                "kfrac",
+                Json::str(format!("{:.2}", ms[0].stats.kernel_time_fraction())),
+            ));
+            fields.push((
+                "isv_hit",
+                Json::str(format!("{:.3}", m.isv_cache.unwrap().hit_rate())),
+            ));
+            fields.push((
+                "dsvmt_hit",
+                Json::str(format!("{:.3}", m.dsvmt_cache.unwrap().hit_rate())),
+            ));
+            fields.push((
+                "fences_per_ki",
+                Json::str(format!("{:.1}", m.stats.fences_per_kilo_inst())),
+            ));
+            json_rows.push(Json::obj(fields));
+            continue;
+        }
         print!("{name:12}");
         for m in &ms[1..] {
             print!(" {}={:+.1}%", m.scheme, 100.0 * runner::overhead(m, &ms[0]));
         }
-        let m = &ms[3];
         print!(
             "  kfrac={:.2} isv_hit={:.3} dsvmt_hit={:.3} f/ki={:.1}",
             ms[0].stats.kernel_time_fraction(),
@@ -37,6 +69,25 @@ fn main() {
     for app in apps::apps() {
         let t0 = Instant::now();
         let ms = runner::measure_schemes(&schemes, kcfg, &app.workload);
+        if json {
+            let mut fields = vec![("workload", Json::str(app.workload.name))];
+            for m in &ms[1..] {
+                fields.push((
+                    m.scheme.name(),
+                    Json::str(format!("{:+.1}%", 100.0 * runner::overhead(m, &ms[0]))),
+                ));
+            }
+            fields.push((
+                "kfrac",
+                Json::str(format!("{:.2}", ms[0].stats.kernel_time_fraction())),
+            ));
+            fields.push((
+                "paper_kfrac",
+                Json::str(format!("{:.2}", app.paper_kernel_frac)),
+            ));
+            json_rows.push(Json::obj(fields));
+            continue;
+        }
         print!("{:12}", app.workload.name);
         for m in &ms[1..] {
             print!(" {}={:+.1}%", m.scheme, 100.0 * runner::overhead(m, &ms[0]));
@@ -47,5 +98,9 @@ fn main() {
             app.paper_kernel_frac,
             t0.elapsed()
         );
+    }
+    if json {
+        let doc = report::experiment_json("calibrate2", vec![("rows", Json::Array(json_rows))]);
+        report::emit(&doc);
     }
 }

@@ -3,7 +3,10 @@
 //!
 //! Default: the paper's five main schemes. `--all` adds the §9.1
 //! comparison points (DOM, STT, KPTI+Retpoline, Retpoline-only).
+//! `--json` emits the measurement rows and derived normalizations as a
+//! single machine-readable document instead of the transcript.
 
+use persp_bench::report::{self, Json};
 use persp_bench::{header, kernel_image, norm};
 use persp_workloads::{lebench, runner};
 use perspective::scheme::Scheme;
@@ -16,6 +19,50 @@ fn main() {
     } else {
         Scheme::MAIN.to_vec()
     };
+    let suite = lebench::suite();
+    let matrix = runner::run_matrix(&image, &schemes, &suite);
+
+    if report::json_mode() {
+        let mut normalized = Vec::new();
+        let mut sums = vec![0.0f64; schemes.len()];
+        for (w, ms) in suite.iter().zip(matrix.chunks(schemes.len())) {
+            for (i, m) in ms.iter().enumerate().skip(1) {
+                let value = m.stats.cycles as f64 / ms[0].stats.cycles.max(1) as f64;
+                sums[i] += value;
+                normalized.push(Json::obj(vec![
+                    ("workload", Json::str(w.name)),
+                    ("scheme", Json::str(schemes[i].name())),
+                    ("value", Json::str(norm(value))),
+                ]));
+            }
+        }
+        let avg = schemes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, s)| {
+                Json::obj(vec![
+                    ("scheme", Json::str(s.name())),
+                    ("value", Json::str(norm(sums[i] / suite.len() as f64))),
+                ])
+            })
+            .collect();
+        let doc = report::experiment_json(
+            "fig_9_2",
+            vec![
+                (
+                    "schemes",
+                    Json::Array(schemes.iter().map(|s| Json::str(s.name())).collect()),
+                ),
+                ("rows", report::measurements_json(&matrix)),
+                ("normalized", Json::Array(normalized)),
+                ("avg", Json::Array(avg)),
+            ],
+        );
+        report::emit(&doc);
+        return;
+    }
+
     header(
         "Figure 9.2: LEBench normalized latency (UNSAFE = 1.000)",
         "paper §9.1, Figure 9.2 (+ §9.1 hardware/software comparisons with --all)",
@@ -29,8 +76,6 @@ fn main() {
     println!("{}", "-".repeat(16 + 19 * (schemes.len() - 1)));
 
     let mut sums = vec![0.0f64; schemes.len()];
-    let suite = lebench::suite();
-    let matrix = runner::run_matrix(&image, &schemes, &suite);
     for (w, ms) in suite.iter().zip(matrix.chunks(schemes.len())) {
         print!("{:<16}", w.name);
         for (i, m) in ms.iter().enumerate().skip(1) {

@@ -1,6 +1,7 @@
 //! Experiment E7 — Figure 9.3: datacenter application throughput
 //! (requests per second) normalized to the UNSAFE baseline.
 
+use persp_bench::report::{self, Json};
 use persp_bench::{header, kernel_image, norm};
 use persp_uarch::config::CoreConfig;
 use persp_workloads::{apps, runner};
@@ -14,6 +15,61 @@ fn main() {
     } else {
         Scheme::MAIN.to_vec()
     };
+
+    let freq = CoreConfig::paper_default().freq_ghz;
+    let the_apps = apps::apps();
+    let workloads: Vec<_> = the_apps.iter().map(|a| a.workload.clone()).collect();
+    let matrix = runner::run_matrix(&image, &schemes, &workloads);
+
+    if report::json_mode() {
+        let mut json_rows = Vec::new();
+        let mut sums = vec![0.0f64; schemes.len()];
+        for (app, ms) in the_apps.iter().zip(matrix.chunks(schemes.len())) {
+            let w = &app.workload;
+            let mut fields = vec![
+                ("app", Json::str(w.name)),
+                (
+                    "unsafe_rps",
+                    Json::str(format!("{:.0}", ms[0].rps(w.iters, freq))),
+                ),
+                (
+                    "kernel_time_pct",
+                    Json::str(format!("{:.0}", 100.0 * ms[0].stats.kernel_time_fraction())),
+                ),
+            ];
+            for (i, m) in ms.iter().enumerate().skip(1) {
+                let normalized = ms[0].stats.cycles as f64 / m.stats.cycles.max(1) as f64;
+                sums[i] += normalized;
+                fields.push((m.scheme.name(), Json::str(norm(normalized))));
+            }
+            json_rows.push(Json::obj(fields));
+        }
+        let avgs = schemes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, s)| {
+                Json::obj(vec![
+                    ("scheme", Json::str(s.name())),
+                    ("value", Json::str(norm(sums[i] / the_apps.len() as f64))),
+                ])
+            })
+            .collect();
+        let doc = report::experiment_json(
+            "fig_9_3",
+            vec![
+                (
+                    "schemes",
+                    Json::Array(schemes.iter().map(|s| Json::str(s.name())).collect()),
+                ),
+                ("rows", Json::Array(json_rows)),
+                ("avg_normalized", Json::Array(avgs)),
+            ],
+        );
+        report::emit(&doc);
+        return;
+    }
+
     header(
         "Figure 9.3: Requests/second normalized to UNSAFE",
         "paper §9.1, Figure 9.3",
@@ -27,11 +83,7 @@ fn main() {
     println!();
     println!("{}", "-".repeat(25 + 19 * (schemes.len() - 1)));
 
-    let freq = CoreConfig::paper_default().freq_ghz;
     let mut sums = vec![0.0f64; schemes.len()];
-    let the_apps = apps::apps();
-    let workloads: Vec<_> = the_apps.iter().map(|a| a.workload.clone()).collect();
-    let matrix = runner::run_matrix(&image, &schemes, &workloads);
     for (app, ms) in the_apps.iter().zip(matrix.chunks(schemes.len())) {
         let w = &app.workload;
         let base_rps = ms[0].rps(w.iters, freq);

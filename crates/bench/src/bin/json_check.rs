@@ -1,0 +1,26 @@
+//! CI helper: validates that stdin is a JSON document our `report`
+//! reader accepts (`ci.sh` pipes each experiment's `--json` output
+//! through this before diffing it against the checked-in baseline).
+
+use persp_bench::report::Json;
+use std::io::Read;
+
+fn main() {
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .expect("read stdin");
+    match Json::parse(text.trim()) {
+        Ok(doc) => {
+            let name = doc
+                .get("experiment")
+                .and_then(Json::as_str)
+                .unwrap_or("unnamed");
+            eprintln!("json_check: ok ({name})");
+        }
+        Err(e) => {
+            eprintln!("json_check: invalid JSON: {e}");
+            std::process::exit(1);
+        }
+    }
+}

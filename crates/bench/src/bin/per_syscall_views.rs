@@ -20,6 +20,7 @@
 //! saturates near the pool-to-utility ratio rather than approaching
 //! zero.
 
+use persp_bench::report::{self, Json};
 use persp_bench::{header, kernel_config, lebench_union_workload, norm, pct};
 use persp_kernel::syscalls::Sysno;
 use persp_workloads::apps;
@@ -30,13 +31,27 @@ use perspective::isv::Isv;
 use perspective::scheme::Scheme;
 use std::collections::HashMap;
 
+/// One workload's view-surface row: process-wide size, per-syscall
+/// average, frequency-weighted effective size, and the tightening ratio.
+struct SurfaceRow {
+    name: &'static str,
+    proc_wide: usize,
+    avg: f64,
+    effective: f64,
+    tighten: f64,
+}
+
+/// One enforcement-cost row (all columns pre-formatted).
+struct CostRow {
+    name: &'static str,
+    wide_norm: String,
+    narrow_norm: String,
+    wide_hit: String,
+    narrow_hit: String,
+}
+
 fn main() {
     let kcfg = kernel_config();
-    header(
-        "Extension: per-syscall ISVs (future-work granularity)",
-        "paper §11 — not a paper table; extension analysis",
-    );
-
     let mut workloads = vec![lebench_union_workload()];
     workloads.extend(apps::apps().into_iter().map(|a| a.workload));
 
@@ -51,13 +66,8 @@ fn main() {
         per_sys.insert(sys, Isv::static_for(graph, &[sys]).num_funcs());
     }
 
-    println!(
-        "{:<10} | {:>12} | {:>12} | {:>12} | {:>10}",
-        "Workload", "proc-wide", "per-sys avg", "effective", "tightening"
-    );
-    println!("{}", "-".repeat(70));
-
     let mut sum_tighten = 0.0;
+    let mut surface_rows = Vec::new();
     for w in &workloads {
         let profile = w.syscall_profile();
         let proc_wide = Isv::static_for(graph, &profile).num_funcs();
@@ -71,48 +81,24 @@ fn main() {
         // becomes relative to the process-wide view.
         let tighten = 1.0 - effective / proc_wide as f64;
         sum_tighten += tighten;
-
-        println!(
-            "{:<10} | {:>12} | {:>12.0} | {:>12.0} | {:>10}",
-            w.name,
+        surface_rows.push(SurfaceRow {
+            name: w.name,
             proc_wide,
             avg,
             effective,
-            pct(tighten)
-        );
+            tighten,
+        });
     }
-    println!("{}", "-".repeat(70));
-    println!(
-        "average tightening over process-wide static views: {}",
-        pct(sum_tighten / workloads.len() as f64)
-    );
+    let avg_tighten = sum_tighten / workloads.len() as f64;
 
     // Where the floor is: the shared part every view must contain.
     let min_view = Sysno::ALL.iter().map(|s| per_sys[s]).min().unwrap_or(0) as f64;
     let max_view = Sysno::ALL.iter().map(|s| per_sys[s]).max().unwrap_or(0) as f64;
-    println!();
-    println!(
-        "per-syscall closures span {:.0}..{:.0} functions ({}..{} of the kernel);",
-        min_view,
-        max_view,
-        pct(min_view / total),
-        pct(max_view / total)
-    );
-    println!("the floor is the dispatcher + shared utility layer that every view keeps.");
     drop(kernel);
     drop(inst);
 
-    // ------------------------------------------------------------------
     // Enforcement cost: the conservative flush-on-dispatch implementation
     // (`measure_per_syscall`) vs. the paper's process-wide static views.
-    // ------------------------------------------------------------------
-    println!();
-    println!("enforcement cost (LEBench subset, flush-on-dispatch model):");
-    println!(
-        "{:<16} | {:>10} | {:>10} | {:>12} | {:>12}",
-        "test", "P-STATIC", "per-sys", "hit P-STATIC", "hit per-sys"
-    );
-    println!("{}", "-".repeat(72));
     let mut mixed = lebench::by_name("small-read").expect("suite test");
     mixed
         .steps
@@ -124,21 +110,106 @@ fn main() {
     let singles = ["getpid", "small-read", "mmap", "select"]
         .into_iter()
         .map(|n| lebench::by_name(n).expect("suite test"));
+    let mut cost_rows = Vec::new();
     for w in singles.chain([mixed]) {
-        let name = w.name;
         let base = measure(Scheme::Unsafe, kcfg, &w).stats.cycles as f64;
         // (single-syscall tests never switch views mid-run: identical
         // columns there are the sanity check; the mixed row pays for
         // real dispatch switching.)
         let wide = measure(Scheme::PerspectiveStatic, kcfg, &w);
         let narrow = measure_per_syscall(Scheme::Perspective, kcfg, &w);
+        cost_rows.push(CostRow {
+            name: w.name,
+            wide_norm: norm(wide.stats.cycles as f64 / base),
+            narrow_norm: norm(narrow.stats.cycles as f64 / base),
+            wide_hit: pct(wide.isv_cache.map_or(0.0, |c| c.hit_rate())),
+            narrow_hit: pct(narrow.isv_cache.map_or(0.0, |c| c.hit_rate())),
+        });
+    }
+
+    if report::json_mode() {
+        let surfaces = surface_rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("workload", Json::str(r.name)),
+                    ("proc_wide_funcs", Json::UInt(r.proc_wide as u64)),
+                    ("per_sys_avg", Json::str(format!("{:.0}", r.avg))),
+                    ("effective", Json::str(format!("{:.0}", r.effective))),
+                    ("tightening", Json::str(pct(r.tighten))),
+                ])
+            })
+            .collect();
+        let costs = cost_rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("test", Json::str(r.name)),
+                    ("p_static", Json::str(r.wide_norm.clone())),
+                    ("per_sys", Json::str(r.narrow_norm.clone())),
+                    ("p_static_hit_rate", Json::str(r.wide_hit.clone())),
+                    ("per_sys_hit_rate", Json::str(r.narrow_hit.clone())),
+                ])
+            })
+            .collect();
+        let doc = report::experiment_json(
+            "per_syscall_views",
+            vec![
+                ("surfaces", Json::Array(surfaces)),
+                ("avg_tightening", Json::str(pct(avg_tighten))),
+                ("min_view_funcs", Json::str(format!("{min_view:.0}"))),
+                ("max_view_funcs", Json::str(format!("{max_view:.0}"))),
+                ("enforcement_cost", Json::Array(costs)),
+            ],
+        );
+        report::emit(&doc);
+        return;
+    }
+
+    header(
+        "Extension: per-syscall ISVs (future-work granularity)",
+        "paper §11 — not a paper table; extension analysis",
+    );
+    println!(
+        "{:<10} | {:>12} | {:>12} | {:>12} | {:>10}",
+        "Workload", "proc-wide", "per-sys avg", "effective", "tightening"
+    );
+    println!("{}", "-".repeat(70));
+    for r in &surface_rows {
+        println!(
+            "{:<10} | {:>12} | {:>12.0} | {:>12.0} | {:>10}",
+            r.name,
+            r.proc_wide,
+            r.avg,
+            r.effective,
+            pct(r.tighten)
+        );
+    }
+    println!("{}", "-".repeat(70));
+    println!(
+        "average tightening over process-wide static views: {}",
+        pct(avg_tighten)
+    );
+    println!();
+    println!(
+        "per-syscall closures span {:.0}..{:.0} functions ({}..{} of the kernel);",
+        min_view,
+        max_view,
+        pct(min_view / total),
+        pct(max_view / total)
+    );
+    println!("the floor is the dispatcher + shared utility layer that every view keeps.");
+    println!();
+    println!("enforcement cost (LEBench subset, flush-on-dispatch model):");
+    println!(
+        "{:<16} | {:>10} | {:>10} | {:>12} | {:>12}",
+        "test", "P-STATIC", "per-sys", "hit P-STATIC", "hit per-sys"
+    );
+    println!("{}", "-".repeat(72));
+    for r in &cost_rows {
         println!(
             "{:<16} | {:>10} | {:>10} | {:>12} | {:>12}",
-            name,
-            norm(wide.stats.cycles as f64 / base),
-            norm(narrow.stats.cycles as f64 / base),
-            pct(wide.isv_cache.map_or(0.0, |c| c.hit_rate())),
-            pct(narrow.isv_cache.map_or(0.0, |c| c.hit_rate())),
+            r.name, r.wide_norm, r.narrow_norm, r.wide_hit, r.narrow_hit,
         );
     }
     println!();

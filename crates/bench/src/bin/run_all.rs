@@ -9,8 +9,16 @@
 //! is printed in the fixed experiment order once its run completes — the
 //! combined output is byte-identical whatever `PERSPECTIVE_THREADS` says
 //! (each child also runs its own cells on the parallel matrix, so the
-//! worker budget is split between the two levels).
+//! worker budget is split between the two levels). Anything a child
+//! wrote to stderr is forwarded to our stderr right after its
+//! transcript. If any child fails, its stderr tail is reported and the
+//! run exits nonzero after all transcripts have been printed.
+//!
+//! `--json` is forwarded to every child; the children's documents are
+//! parsed (a child emitting unparseable output is a failure) and
+//! aggregated into one combined document on stdout.
 
+use persp_bench::report::{self, Json};
 use persp_workloads::runner;
 use std::process::Command;
 
@@ -31,7 +39,23 @@ const EXPERIMENTS: [&str; 14] = [
     "cache_sweep",
 ];
 
+/// One child run: success flag, captured stdout, captured stderr.
+struct ChildRun {
+    ok: bool,
+    stdout: Vec<u8>,
+    stderr: String,
+}
+
+/// The last `n` lines of a child's stderr (the part worth echoing into
+/// a failure report).
+fn tail(stderr: &str, n: usize) -> String {
+    let lines: Vec<&str> = stderr.lines().collect();
+    let start = lines.len().saturating_sub(n);
+    lines[start..].join("\n")
+}
+
 fn main() {
+    let json = report::json_mode();
     let exe = std::env::current_exe().expect("self path");
     let dir = exe.parent().expect("bin dir").to_path_buf();
     // Split the worker budget: up to four children at a time, each given
@@ -39,21 +63,75 @@ fn main() {
     let total = runner::num_threads();
     let outer = total.clamp(1, 4);
     let inner = (total / outer).max(1);
-    let transcripts = runner::run_parallel_with(outer, EXPERIMENTS.to_vec(), |bin| {
-        let out = Command::new(dir.join(bin))
-            .env("PERSPECTIVE_THREADS", inner.to_string())
-            .output()
-            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-        assert!(
-            out.status.success(),
-            "{bin} failed:\n{}",
-            String::from_utf8_lossy(&out.stderr)
-        );
-        out.stdout
+    let runs = runner::run_parallel_with(outer, EXPERIMENTS.to_vec(), |bin| {
+        let mut cmd = Command::new(dir.join(bin));
+        cmd.env("PERSPECTIVE_THREADS", inner.to_string());
+        if json {
+            cmd.arg("--json");
+        }
+        match cmd.output() {
+            Ok(out) => ChildRun {
+                ok: out.status.success(),
+                stdout: out.stdout,
+                stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+            },
+            Err(e) => ChildRun {
+                ok: false,
+                stdout: Vec::new(),
+                stderr: format!("failed to spawn {bin}: {e}"),
+            },
+        }
     });
-    for (bin, stdout) in EXPERIMENTS.iter().zip(transcripts) {
-        println!("\n################ {bin} ################");
-        print!("{}", String::from_utf8_lossy(&stdout));
+
+    let mut failures: Vec<(&str, String)> = Vec::new();
+
+    if json {
+        let mut children = Vec::new();
+        for (bin, run) in EXPERIMENTS.iter().zip(&runs) {
+            if !run.ok {
+                failures.push((bin, tail(&run.stderr, 20)));
+                continue;
+            }
+            let text = String::from_utf8_lossy(&run.stdout);
+            match Json::parse(text.trim()) {
+                Ok(doc) => children.push((bin.to_string(), doc)),
+                Err(e) => failures.push((bin, format!("unparseable JSON output: {e}"))),
+            }
+        }
+        if failures.is_empty() {
+            let doc =
+                report::experiment_json("run_all", vec![("experiments", Json::Object(children))]);
+            report::emit(&doc);
+        }
+    } else {
+        for (bin, run) in EXPERIMENTS.iter().zip(&runs) {
+            println!("\n################ {bin} ################");
+            print!("{}", String::from_utf8_lossy(&run.stdout));
+            if !run.stderr.is_empty() {
+                eprintln!("---- {bin} stderr ----");
+                eprintln!("{}", run.stderr.trim_end());
+            }
+            if !run.ok {
+                failures.push((bin, tail(&run.stderr, 20)));
+            }
+        }
+        if failures.is_empty() {
+            println!("\nAll experiments completed.");
+        }
     }
-    println!("\nAll experiments completed.");
+
+    if !failures.is_empty() {
+        for (bin, stderr_tail) in &failures {
+            eprintln!("error: {bin} failed; stderr tail:");
+            for line in stderr_tail.lines() {
+                eprintln!("    {line}");
+            }
+        }
+        eprintln!(
+            "error: {}/{} experiments failed",
+            failures.len(),
+            EXPERIMENTS.len()
+        );
+        std::process::exit(1);
+    }
 }

@@ -11,6 +11,7 @@ use persp_attacks::bhi::{plain_v2_fails_under_ibrs, run_bhi};
 use persp_attacks::ebpf_attack::run_ebpf_attack;
 use persp_attacks::passive::{run_btb_hijack, run_retbleed};
 use persp_bench::header;
+use persp_bench::report::{self, Json};
 use persp_kernel::callgraph::KernelConfig;
 use perspective::scheme::Scheme;
 use perspective::taxonomy::AttackOutcome;
@@ -36,11 +37,6 @@ fn main() {
     let kcfg = KernelConfig::test_small();
     let secret = 0x2A;
 
-    header(
-        "Security PoCs: active & passive transient execution attacks",
-        "paper Chapter 8 (§8.1 active, §8.2 passive)",
-    );
-
     let schemes = [
         Scheme::Unsafe,
         Scheme::Spot,
@@ -52,6 +48,70 @@ fn main() {
         Scheme::PerspectivePlusPlus,
     ];
 
+    // Per scheme: the five attack-outcome cells, pre-rendered (the same
+    // strings feed the transcript and the JSON document).
+    let rows: Vec<(&'static str, [String; 5])> = schemes
+        .iter()
+        .map(|&scheme| {
+            let active = run_active_attack(scheme, kcfg, secret);
+            let v2 = run_btb_hijack(scheme, kcfg, secret);
+            let rb = run_retbleed(scheme, kcfg, secret);
+            let bhi = run_bhi(scheme, kcfg, secret);
+            let ebpf = run_ebpf_attack(scheme, kcfg, secret);
+            let ebpf_str = match &ebpf.outcome {
+                perspective::taxonomy::AttackOutcome::Leaked { recovered, .. } => {
+                    format!("LEAKED 0x{recovered:02x} (8 bits)")
+                }
+                perspective::taxonomy::AttackOutcome::Blocked => "blocked".to_string(),
+                _ => "inconclusive".to_string(),
+            };
+            (
+                scheme.name(),
+                [
+                    outcome_str(&active.outcome, &active.hot_lines, secret),
+                    outcome_str(&v2.outcome, &v2.hot_lines, secret),
+                    outcome_str(&rb.outcome, &rb.hot_lines, secret),
+                    outcome_str(&bhi.outcome, &bhi.hot_lines, secret),
+                    ebpf_str,
+                ],
+            )
+        })
+        .collect();
+
+    if report::json_mode() {
+        let json_rows = rows
+            .iter()
+            .map(|(scheme, cells)| {
+                Json::obj(vec![
+                    ("scheme", Json::str(*scheme)),
+                    ("active_spectre_v1", Json::str(cells[0].clone())),
+                    ("passive_v2_dispatch", Json::str(cells[1].clone())),
+                    ("passive_retbleed", Json::str(cells[2].clone())),
+                    ("active_bhi", Json::str(cells[3].clone())),
+                    ("active_ebpf", Json::str(cells[4].clone())),
+                ])
+            })
+            .collect();
+        let ibrs_sanity = plain_v2_fails_under_ibrs(kcfg);
+        assert!(
+            ibrs_sanity,
+            "sanity: eIBRS stops the plain v2 injection — BHI is the bypass"
+        );
+        let doc = report::experiment_json(
+            "security_poc",
+            vec![
+                ("rows", Json::Array(json_rows)),
+                ("plain_v2_fails_under_ibrs", Json::Bool(ibrs_sanity)),
+            ],
+        );
+        report::emit(&doc);
+        return;
+    }
+
+    header(
+        "Security PoCs: active & passive transient execution attacks",
+        "paper Chapter 8 (§8.1 active, §8.2 passive)",
+    );
     println!(
         "{:<20} | {:<20} | {:<20} | {:<20} | {:<21} | {:<20}",
         "scheme",
@@ -62,27 +122,10 @@ fn main() {
         "ACTIVE eBPF inject"
     );
     println!("{}", "-".repeat(138));
-    for scheme in schemes {
-        let active = run_active_attack(scheme, kcfg, secret);
-        let v2 = run_btb_hijack(scheme, kcfg, secret);
-        let rb = run_retbleed(scheme, kcfg, secret);
-        let bhi = run_bhi(scheme, kcfg, secret);
-        let ebpf = run_ebpf_attack(scheme, kcfg, secret);
-        let ebpf_str = match &ebpf.outcome {
-            perspective::taxonomy::AttackOutcome::Leaked { recovered, .. } => {
-                format!("LEAKED 0x{recovered:02x} (8 bits)")
-            }
-            perspective::taxonomy::AttackOutcome::Blocked => "blocked".to_string(),
-            _ => "inconclusive".to_string(),
-        };
+    for (scheme, cells) in &rows {
         println!(
             "{:<20} | {:<20} | {:<20} | {:<20} | {:<21} | {:<20}",
-            scheme.name(),
-            outcome_str(&active.outcome, &active.hot_lines, secret),
-            outcome_str(&v2.outcome, &v2.hot_lines, secret),
-            outcome_str(&rb.outcome, &rb.hot_lines, secret),
-            outcome_str(&bhi.outcome, &bhi.hot_lines, secret),
-            ebpf_str,
+            scheme, cells[0], cells[1], cells[2], cells[3], cells[4],
         );
     }
     println!();

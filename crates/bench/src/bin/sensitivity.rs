@@ -2,31 +2,38 @@
 //! rates, the cost of blocking unknown allocations, secure-slab memory
 //! fragmentation, and domain-reassignment frequency.
 
+use persp_bench::report::{self, Json};
 use persp_bench::{header, kernel_image, pct};
 use persp_kernel::context::CgroupId;
 use persp_kernel::kernel::KernelImage;
-use persp_kernel::mm::{BuddyAllocator, SlabAllocator};
+use persp_kernel::mm::{BuddyAllocator, SlabAllocator, SlabStats};
 use persp_kernel::sink::NullSink;
+use persp_workloads::runner::Measurement;
 use persp_workloads::{apps, lebench, runner};
 use perspective::policy::PerspectiveConfig;
 use perspective::scheme::Scheme;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn hit_rates(image: &KernelImage) {
-    println!("--- Hardware structures (ISV cache / DSVMT cache hit rates) ---");
-    let names = ["getpid", "select", "small-read", "big-write", "poll"];
-    let rates = runner::run_parallel(names.to_vec(), |name| {
+const HIT_RATE_NAMES: [&str; 5] = ["getpid", "select", "small-read", "big-write", "poll"];
+const UNKNOWN_NAMES: [&str; 4] = ["getpid", "small-read", "poll", "page-fault"];
+
+fn hit_rates(image: &KernelImage) -> Vec<(f64, f64)> {
+    runner::run_parallel(HIT_RATE_NAMES.to_vec(), |name| {
         let w = lebench::by_name(name).unwrap();
         let m = runner::measure_image(Scheme::Perspective, image, &w);
         (
             m.isv_cache.unwrap().hit_rate(),
             m.dsvmt_cache.unwrap().hit_rate(),
         )
-    });
+    })
+}
+
+fn print_hit_rates(rates: &[(f64, f64)]) {
+    println!("--- Hardware structures (ISV cache / DSVMT cache hit rates) ---");
     let mut isv_sum = 0.0;
     let mut dsv_sum = 0.0;
-    for (name, (i, d)) in names.iter().zip(&rates) {
+    for (name, (i, d)) in HIT_RATE_NAMES.iter().zip(rates) {
         isv_sum += i;
         dsv_sum += d;
         println!(
@@ -45,24 +52,26 @@ fn hit_rates(image: &KernelImage) {
     println!();
 }
 
-fn unknown_allocations(image: &KernelImage) {
-    println!("--- Unknown allocations (block vs. allow, §9.2) ---");
-    let names = ["getpid", "small-read", "poll", "page-fault"];
-    // Two cells per workload — blocking on, blocking off — run as one
-    // parallel batch.
-    let jobs: Vec<(usize, bool)> = (0..names.len())
+/// Two cells per workload — blocking on, blocking off — run as one
+/// parallel batch; chunked pairwise by the consumers.
+fn unknown_allocations(image: &KernelImage) -> Vec<Measurement> {
+    let jobs: Vec<(usize, bool)> = (0..UNKNOWN_NAMES.len())
         .flat_map(|w| [(w, true), (w, false)])
         .collect();
-    let cells = runner::run_parallel(jobs, |(w, block)| {
-        let workload = lebench::by_name(names[w]).unwrap();
+    runner::run_parallel(jobs, |(w, block)| {
+        let workload = lebench::by_name(UNKNOWN_NAMES[w]).unwrap();
         let cfg = PerspectiveConfig {
             block_unknown: block,
             ..Default::default()
         };
         runner::measure_image_cfg(Scheme::Perspective, image, &workload, cfg)
-    });
+    })
+}
+
+fn print_unknown_allocations(cells: &[Measurement]) {
+    println!("--- Unknown allocations (block vs. allow, §9.2) ---");
     let mut deltas = Vec::new();
-    for (name, pair) in names.iter().zip(cells.chunks(2)) {
+    for (name, pair) in UNKNOWN_NAMES.iter().zip(cells.chunks(2)) {
         let (blocked, allowed) = (&pair[0], &pair[1]);
         let delta = blocked.stats.cycles as f64 / allowed.stats.cycles.max(1) as f64 - 1.0;
         deltas.push(delta);
@@ -84,8 +93,8 @@ fn unknown_allocations(image: &KernelImage) {
 /// Slab traffic shaped like the datacenter workloads: transient metadata
 /// allocations from four mutually distrusting cgroups, measured with
 /// `slabtop`-style utilization on the baseline vs. the secure allocator.
-fn fragmentation() {
-    println!("--- Memory fragmentation of the secure slab allocator (§9.2) ---");
+/// Returns `[(active, total, page_op_ratio); 2]` for baseline, secure.
+fn fragmentation() -> Vec<(u64, u64, f64)> {
     let run = |secure: bool| -> (u64, u64, f64) {
         // Per-run rng so the two configurations see identical traffic
         // (and so both can run concurrently).
@@ -112,12 +121,23 @@ fn fragmentation() {
         let (active, total) = slab.utilization();
         (active, total, slab.stats().page_op_ratio())
     };
-    let runs = runner::run_parallel(vec![false, true], run);
+    runner::run_parallel(vec![false, true], run)
+}
+
+/// Derived fragmentation figures: baseline/secure utilization, memory
+/// overhead of isolation, secure page-op ratio.
+fn fragmentation_figures(runs: &[(u64, u64, f64)]) -> (f64, f64, f64, f64) {
     let (abase, tbase, _) = runs[0];
     let (asec, tsec, ratio) = runs[1];
     let util_base = abase as f64 / tbase.max(1) as f64;
     let util_sec = asec as f64 / tsec.max(1) as f64;
     let overhead = tsec as f64 / tbase.max(1) as f64 - 1.0;
+    (util_base, util_sec, overhead, ratio)
+}
+
+fn print_fragmentation(runs: &[(u64, u64, f64)]) {
+    println!("--- Memory fragmentation of the secure slab allocator (§9.2) ---");
+    let (util_base, util_sec, overhead, ratio) = fragmentation_figures(runs);
     println!("  baseline slab utilization: {}", pct(util_base));
     println!("  secure   slab utilization: {}", pct(util_sec));
     println!("  memory usage overhead of isolation: {}", pct(overhead));
@@ -126,9 +146,8 @@ fn fragmentation() {
     println!();
 }
 
-fn domain_reassignment(image: &KernelImage) {
-    println!("--- Domain reassignment during app runs (§9.2) ---");
-    let rows = runner::run_parallel(apps::apps(), |app| {
+fn domain_reassignment(image: &KernelImage) -> Vec<(&'static str, SlabStats)> {
+    runner::run_parallel(apps::apps(), |app| {
         let mut inst = persp_workloads::SimInstance::from_image(Scheme::Perspective, image);
         let text = inst.text_base();
         let data = inst.data_base();
@@ -140,7 +159,11 @@ fn domain_reassignment(image: &KernelImage) {
         inst.core.run(text, 800_000_000).expect("app run");
         let stats = inst.kernel.borrow().slab.stats();
         (app.workload.name, stats)
-    });
+    })
+}
+
+fn print_domain_reassignment(rows: &[(&'static str, SlabStats)]) {
+    println!("--- Domain reassignment during app runs (§9.2) ---");
     for (name, stats) in rows {
         println!(
             "  {:<10} object frees {:>6}, page-level ops {:>4} ({} of frees)",
@@ -154,11 +177,90 @@ fn domain_reassignment(image: &KernelImage) {
     println!();
 }
 
+fn json_doc(
+    rates: &[(f64, f64)],
+    cells: &[Measurement],
+    runs: &[(u64, u64, f64)],
+    reassign: &[(&'static str, SlabStats)],
+) -> Json {
+    let hit_rows = HIT_RATE_NAMES
+        .iter()
+        .zip(rates)
+        .map(|(name, (i, d))| {
+            Json::obj(vec![
+                ("workload", Json::str(*name)),
+                ("isv_cache_hit_rate", Json::str(pct(*i))),
+                ("dsvmt_cache_hit_rate", Json::str(pct(*d))),
+            ])
+        })
+        .collect();
+    let unknown_rows = UNKNOWN_NAMES
+        .iter()
+        .zip(cells.chunks(2))
+        .map(|(name, pair)| {
+            let (blocked, allowed) = (&pair[0], &pair[1]);
+            let delta = blocked.stats.cycles as f64 / allowed.stats.cycles.max(1) as f64 - 1.0;
+            Json::obj(vec![
+                ("workload", Json::str(*name)),
+                ("blocking_cost", Json::str(pct(delta))),
+                (
+                    "unknown_fences",
+                    Json::UInt(blocked.fences.as_ref().unwrap().unknown),
+                ),
+            ])
+        })
+        .collect();
+    let (util_base, util_sec, overhead, ratio) = fragmentation_figures(runs);
+    let frag = Json::obj(vec![
+        ("baseline_utilization", Json::str(pct(util_base))),
+        ("secure_utilization", Json::str(pct(util_sec))),
+        ("memory_overhead", Json::str(pct(overhead))),
+        ("page_op_ratio", Json::str(pct(ratio))),
+    ]);
+    let reassign_rows = reassign
+        .iter()
+        .map(|(name, stats)| {
+            Json::obj(vec![
+                ("app", Json::str(*name)),
+                ("object_frees", Json::UInt(stats.object_frees)),
+                ("page_frees", Json::UInt(stats.page_frees)),
+                ("page_op_ratio", Json::str(pct(stats.page_op_ratio()))),
+            ])
+        })
+        .collect();
+    report::experiment_json(
+        "sensitivity",
+        vec![
+            ("hit_rates", Json::Array(hit_rows)),
+            ("unknown_allocations", Json::Array(unknown_rows)),
+            ("fragmentation", frag),
+            ("domain_reassignment", Json::Array(reassign_rows)),
+        ],
+    )
+}
+
 fn main() {
-    header("Sensitivity analyses", "paper §9.2");
+    let json = report::json_mode();
+    if !json {
+        header("Sensitivity analyses", "paper §9.2");
+    }
     let image = kernel_image();
-    hit_rates(&image);
-    unknown_allocations(&image);
-    fragmentation();
-    domain_reassignment(&image);
+    let rates = hit_rates(&image);
+    if !json {
+        print_hit_rates(&rates);
+    }
+    let cells = unknown_allocations(&image);
+    if !json {
+        print_unknown_allocations(&cells);
+    }
+    let runs = fragmentation();
+    if !json {
+        print_fragmentation(&runs);
+    }
+    let reassign = domain_reassignment(&image);
+    if json {
+        report::emit(&json_doc(&rates, &cells, &runs, &reassign));
+    } else {
+        print_domain_reassignment(&reassign);
+    }
 }

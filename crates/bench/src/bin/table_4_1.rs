@@ -2,9 +2,31 @@
 //! vulnerabilities targeting the Linux kernel.
 
 use persp_bench::header;
+use persp_bench::report::{self, Json};
 use persp_workloads::cve_study::table_4_1;
 
 fn main() {
+    if report::json_mode() {
+        let rows = table_4_1()
+            .iter()
+            .map(|row| {
+                Json::obj(vec![
+                    ("row", Json::UInt(row.row as u64)),
+                    ("primitive", Json::str(row.primitive.label())),
+                    ("mitigation", Json::str(row.gap.label())),
+                    (
+                        "references",
+                        Json::Array(row.references.iter().map(|r| Json::str(*r)).collect()),
+                    ),
+                    ("description", Json::str(row.description)),
+                    ("origin", Json::str(row.origin)),
+                ])
+            })
+            .collect();
+        let doc = report::experiment_json("table_4_1", vec![("rows", Json::Array(rows))]);
+        report::emit(&doc);
+        return;
+    }
     header(
         "Table 4.1: Speculative-execution vulnerabilities targeting the Linux kernel",
         "paper §4.2, Table 4.1",

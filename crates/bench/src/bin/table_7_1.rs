@@ -1,15 +1,12 @@
 //! Experiment E2 — Table 7.1: full-system simulation parameters.
 
 use persp_bench::header;
+use persp_bench::report::{self, Json};
 use persp_mem::hierarchy::HierarchyConfig;
 use persp_uarch::config::CoreConfig;
 use perspective::hwcache::HwCacheConfig;
 
 fn main() {
-    header(
-        "Table 7.1: Full-System Simulation Parameters",
-        "paper Chapter 7, Table 7.1",
-    );
     let core = CoreConfig::paper_default();
     let mem = HierarchyConfig::paper_default();
     let isv = HwCacheConfig::isv_paper();
@@ -95,6 +92,19 @@ fn main() {
             "synthetic mini-OS, 28 000 functions (Linux v5.4-scale)".to_string(),
         ),
     ];
+    if report::json_mode() {
+        let params = rows
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), Json::Str(v)))
+            .collect();
+        let doc = report::experiment_json("table_7_1", vec![("parameters", Json::Object(params))]);
+        report::emit(&doc);
+        return;
+    }
+    header(
+        "Table 7.1: Full-System Simulation Parameters",
+        "paper Chapter 7, Table 7.1",
+    );
     for (k, v) in rows {
         println!("{k:<22} {v}");
     }

@@ -5,25 +5,15 @@
 //! declared syscall profiles; dynamic ISVs (ISV) come from real execution
 //! traces on the simulator.
 
+use persp_bench::report::{self, Json};
 use persp_bench::{header, isv_trio, kernel_image, lebench_union_workload, pct};
 use persp_workloads::{apps, runner};
 
 fn main() {
     let image = kernel_image();
-    header(
-        "Table 8.1: Attack surface reduction with Perspective",
-        "paper §8.2, Table 8.1",
-    );
-
     let mut workloads = vec![lebench_union_workload()];
     workloads.extend(apps::apps().into_iter().map(|a| a.workload));
 
-    println!(
-        "{:<10} | {:>9} | {:>9} | {:>12} | {:>12}",
-        "Workload", "ISV-S", "ISV", "|ISV-S|", "|ISV|"
-    );
-    println!("{}", "-".repeat(64));
-    let mut sums = (0.0, 0.0);
     // One worker per workload; each derives its views against the shared
     // image and returns the row's numbers (instances stay thread-local).
     let rows = runner::run_parallel(workloads.clone(), |w| {
@@ -36,6 +26,36 @@ fn main() {
             isv_d.num_funcs(),
         )
     });
+
+    if report::json_mode() {
+        let json_rows = workloads
+            .iter()
+            .zip(&rows)
+            .map(|(w, (rs, rd, n_s, n_d))| {
+                Json::obj(vec![
+                    ("workload", Json::str(w.name)),
+                    ("static_reduction", Json::str(pct(*rs))),
+                    ("dynamic_reduction", Json::str(pct(*rd))),
+                    ("static_funcs", Json::UInt(*n_s as u64)),
+                    ("dynamic_funcs", Json::UInt(*n_d as u64)),
+                ])
+            })
+            .collect();
+        let doc = report::experiment_json("table_8_1", vec![("rows", Json::Array(json_rows))]);
+        report::emit(&doc);
+        return;
+    }
+
+    header(
+        "Table 8.1: Attack surface reduction with Perspective",
+        "paper §8.2, Table 8.1",
+    );
+    println!(
+        "{:<10} | {:>9} | {:>9} | {:>12} | {:>12}",
+        "Workload", "ISV-S", "ISV", "|ISV-S|", "|ISV|"
+    );
+    println!("{}", "-".repeat(64));
+    let mut sums = (0.0, 0.0);
     for (w, (rs, rd, n_s, n_d)) in workloads.iter().zip(rows) {
         sums.0 += rs;
         sums.1 += rd;

@@ -6,6 +6,7 @@
 //! function is outside the view (its transmitters cannot execute
 //! speculatively).
 
+use persp_bench::report::{self, Json};
 use persp_bench::{header, isv_trio, kernel_image, lebench_union_workload, pct};
 use persp_kernel::callgraph::GadgetKind;
 use persp_workloads::{apps, runner};
@@ -31,19 +32,9 @@ fn blocked_by_kind(graph: &persp_kernel::callgraph::CallGraph, isv: &Isv) -> (f6
 
 fn main() {
     let image = kernel_image();
-    header(
-        "Table 8.2: Perspective's MDS/Port/Cache gadget reduction",
-        "paper §8.2, Table 8.2",
-    );
-
     let mut workloads = vec![lebench_union_workload()];
     workloads.extend(apps::apps().into_iter().map(|a| a.workload));
 
-    println!(
-        "{:<10} | {:^23} | {:^23} | {:^23}",
-        "Benchmark", "ISV-S (MDS/Port/Cache)", "ISV (MDS/Port/Cache)", "ISV++ (MDS/Port/Cache)"
-    );
-    println!("{}", "-".repeat(92));
     let rows = runner::run_parallel(workloads.clone(), |w| {
         let profile = w.syscall_profile();
         let (isv_s, isv_d, isv_pp, _inst) = isv_trio(&image, &w, &profile);
@@ -54,6 +45,41 @@ fn main() {
             blocked_by_kind(g, &isv_pp),
         )
     });
+
+    if report::json_mode() {
+        let kind_obj = |t: &(f64, f64, f64)| {
+            Json::obj(vec![
+                ("mds", Json::str(pct(t.0))),
+                ("port", Json::str(pct(t.1))),
+                ("cache", Json::str(pct(t.2))),
+            ])
+        };
+        let json_rows = workloads
+            .iter()
+            .zip(&rows)
+            .map(|(w, (s, d, p))| {
+                Json::obj(vec![
+                    ("workload", Json::str(w.name)),
+                    ("isv_static", kind_obj(s)),
+                    ("isv_dynamic", kind_obj(d)),
+                    ("isv_plus_plus", kind_obj(p)),
+                ])
+            })
+            .collect();
+        let doc = report::experiment_json("table_8_2", vec![("rows", Json::Array(json_rows))]);
+        report::emit(&doc);
+        return;
+    }
+
+    header(
+        "Table 8.2: Perspective's MDS/Port/Cache gadget reduction",
+        "paper §8.2, Table 8.2",
+    );
+    println!(
+        "{:<10} | {:^23} | {:^23} | {:^23}",
+        "Benchmark", "ISV-S (MDS/Port/Cache)", "ISV (MDS/Port/Cache)", "ISV++ (MDS/Port/Cache)"
+    );
+    println!("{}", "-".repeat(92));
     for (w, (s, d, p)) in workloads.iter().zip(rows) {
         println!(
             "{:<10} | {:>6} {:>6} {:>6}  | {:>6} {:>6} {:>6}  | {:>6} {:>6} {:>6}",

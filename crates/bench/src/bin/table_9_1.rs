@@ -2,9 +2,28 @@
 //! ISV and DSV caches at 22 nm (CACTI-style analytical model).
 
 use persp_bench::header;
+use persp_bench::report::{self, Json};
 use persp_mem::sram::{characterize_22nm, SramConfig};
 
 fn main() {
+    if report::json_mode() {
+        let rows = [SramConfig::dsv_cache_paper(), SramConfig::isv_cache_paper()]
+            .iter()
+            .map(|cfg| {
+                let c = characterize_22nm(cfg);
+                Json::obj(vec![
+                    ("configuration", Json::str(cfg.name)),
+                    ("area_mm2", Json::str(format!("{:.4}", c.area_mm2))),
+                    ("access_ps", Json::str(format!("{:.0}", c.access_ps))),
+                    ("dynamic_pj", Json::str(format!("{:.2}", c.dynamic_pj))),
+                    ("leakage_mw", Json::str(format!("{:.2}", c.leakage_mw))),
+                ])
+            })
+            .collect();
+        let doc = report::experiment_json("table_9_1", vec![("rows", Json::Array(rows))]);
+        report::emit(&doc);
+        return;
+    }
     header(
         "Table 9.1: Hardware Structure Characterization (22 nm)",
         "paper §9.2, Table 9.1",

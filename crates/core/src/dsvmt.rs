@@ -230,6 +230,19 @@ impl DsvmtTree {
     }
 }
 
+impl persp_uarch::MetricsSource for DsvmtTree {
+    fn export_metrics(&self, prefix: &str, reg: &mut persp_uarch::MetricsRegistry) {
+        reg.set(format!("{prefix}.walks"), self.stats.walks);
+        reg.set(format!("{prefix}.terminated_1g"), self.stats.terminated_1g);
+        reg.set(format!("{prefix}.terminated_2m"), self.stats.terminated_2m);
+        reg.set(format!("{prefix}.reached_leaf"), self.stats.reached_leaf);
+        let (l1, l2, l3) = self.footprint();
+        reg.set(format!("{prefix}.entries_1g"), l1 as u64);
+        reg.set(format!("{prefix}.entries_2m"), l2 as u64);
+        reg.set(format!("{prefix}.entries_4k"), l3 as u64);
+    }
+}
+
 /// Per-context trees, updated from DSV ownership events.
 #[derive(Debug, Default)]
 pub struct DsvmtForest {

@@ -68,6 +68,19 @@ impl HwCacheStats {
     }
 }
 
+impl persp_uarch::MetricsSource for HwCacheStats {
+    fn export_metrics(&self, prefix: &str, reg: &mut persp_uarch::MetricsRegistry) {
+        reg.set(format!("{prefix}.hits"), self.hits);
+        reg.set(format!("{prefix}.misses"), self.misses);
+    }
+}
+
+impl persp_uarch::MetricsSource for TaggedMetadataCache {
+    fn export_metrics(&self, prefix: &str, reg: &mut persp_uarch::MetricsRegistry) {
+        persp_uarch::MetricsSource::export_metrics(&self.stats, prefix, reg);
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     tag: u64,

@@ -261,12 +261,18 @@ impl PerspectivePolicy {
     }
 
     /// ISV check: may the instruction at `pc` execute speculatively in
-    /// context `asid` (servicing `cur_sysno`)? Returns `true` when allowed.
-    fn isv_allows(&mut self, pc: u64, asid: Asid, cur_sysno: Option<u16>) -> bool {
+    /// context `asid` (servicing `cur_sysno`)? Returns the blocking source
+    /// if not: [`BlockSource::Isv`] when the cached view bit says "outside
+    /// the view", [`BlockSource::IsvMiss`] when the ISV cache missed and
+    /// the access is blocked conservatively while the refill runs. Both
+    /// fold into the same ISV fence totals; they differ only for
+    /// stall-cycle attribution.
+    fn isv_blocks(&mut self, pc: u64, asid: Asid, cur_sysno: Option<u16>) -> Option<BlockSource> {
         self.sync_generation(asid);
         self.sync_dispatch(asid, cur_sysno);
         match self.isv_cache.lookup(pc, asid) {
-            HwLookup::Hit(bit) => bit,
+            HwLookup::Hit(true) => None,
+            HwLookup::Hit(false) => Some(BlockSource::Isv),
             HwLookup::Miss => {
                 // Conservatively block this instance; refill in the
                 // background from the ISV page (§6.2).
@@ -279,7 +285,7 @@ impl PerspectivePolicy {
                 } else {
                     isvs.get(asid)
                 }
-                .expect("isv_allows only called when enforced");
+                .expect("isv_blocks only called when enforced");
                 let allowed: Vec<bool> = (0..nbits)
                     .map(|i| isv.contains_va(window + i as u64 * 4))
                     .collect();
@@ -287,7 +293,7 @@ impl PerspectivePolicy {
                 self.isv_cache.refill(pc, asid, |b| {
                     allowed.get(b as usize).copied().unwrap_or(false)
                 });
-                false
+                Some(BlockSource::IsvMiss)
             }
         }
     }
@@ -318,14 +324,31 @@ impl PerspectivePolicy {
                 self.dsvmt_cache.refill(addr, asid, |_| in_view);
                 // The miss itself conservatively blocks (§6.2): "on a
                 // miss, instead of waiting for a refill, Perspective
-                // conservatively blocks speculation".
+                // conservatively blocks speculation". Unknown ownership
+                // keeps its own attribution; everything else blocked on
+                // the miss path is tagged DsvmtMiss, which folds into the
+                // same DSV fence totals but drives a separate stall class.
                 Some(if class == DsvClass::Unknown && self.cfg.block_unknown {
                     BlockSource::UnknownAlloc
                 } else {
-                    BlockSource::Dsv
+                    BlockSource::DsvmtMiss
                 })
             }
         }
+    }
+}
+
+impl persp_uarch::MetricsSource for PerspectivePolicy {
+    fn export_metrics(&self, prefix: &str, reg: &mut persp_uarch::MetricsRegistry) {
+        reg.set(format!("{prefix}.fences.isv"), self.fences.isv);
+        reg.set(format!("{prefix}.fences.dsv"), self.fences.dsv);
+        reg.set(format!("{prefix}.fences.unknown"), self.fences.unknown);
+        self.counters
+            .export_metrics(&format!("{prefix}.decisions"), reg);
+        self.isv_cache
+            .export_metrics(&format!("{prefix}.isv_cache"), reg);
+        self.dsvmt_cache
+            .export_metrics(&format!("{prefix}.dsvmt_cache"), reg);
     }
 }
 
@@ -345,11 +368,13 @@ impl SpecPolicy for PerspectivePolicy {
 
         let isv_enforced =
             self.cfg.enforce_isv && self.scoped_view_installed(ctx.asid, ctx.cur_sysno);
-        if isv_enforced && !self.isv_allows(ctx.pc, ctx.asid, ctx.cur_sysno) {
-            let d = LoadDecision::BlockUntilVp(BlockSource::Isv);
-            self.counters.record(d);
-            self.fences.isv += 1;
-            return d;
+        if isv_enforced {
+            if let Some(src) = self.isv_blocks(ctx.pc, ctx.asid, ctx.cur_sysno) {
+                let d = LoadDecision::BlockUntilVp(src);
+                self.counters.record(d);
+                self.fences.isv += 1;
+                return d;
+            }
         }
 
         if self.cfg.enforce_dsv {

@@ -95,6 +95,18 @@ impl std::fmt::Debug for Kernel {
     }
 }
 
+impl persp_uarch::MetricsSource for Kernel {
+    fn export_metrics(&self, prefix: &str, reg: &mut persp_uarch::MetricsRegistry) {
+        self.buddy.export_metrics(&format!("{prefix}.buddy"), reg);
+        self.slab.export_metrics(&format!("{prefix}.slab"), reg);
+        reg.set(format!("{prefix}.procs"), self.procs.len() as u64);
+        reg.set(
+            format!("{prefix}.syscalls"),
+            self.syscall_counts.values().sum(),
+        );
+    }
+}
+
 impl Kernel {
     /// Generate and emit a kernel. `sink` receives every ownership event
     /// (pass Perspective's DSV manager, or a [`NullSink`] for baselines).

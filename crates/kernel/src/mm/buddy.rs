@@ -28,6 +28,18 @@ pub struct BuddyStats {
     pub failures: u64,
 }
 
+impl persp_uarch::MetricsSource for BuddyAllocator {
+    fn export_metrics(&self, prefix: &str, reg: &mut persp_uarch::MetricsRegistry) {
+        reg.set(format!("{prefix}.allocs"), self.stats.allocs);
+        reg.set(format!("{prefix}.frees"), self.stats.frees);
+        reg.set(format!("{prefix}.splits"), self.stats.splits);
+        reg.set(format!("{prefix}.merges"), self.stats.merges);
+        reg.set(format!("{prefix}.failures"), self.stats.failures);
+        reg.set(format!("{prefix}.free_frames"), self.free_frames());
+        reg.set(format!("{prefix}.num_frames"), self.num_frames);
+    }
+}
+
 /// The buddy allocator.
 #[derive(Debug)]
 pub struct BuddyAllocator {

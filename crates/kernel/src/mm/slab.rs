@@ -220,6 +220,19 @@ impl SlabAllocator {
     }
 }
 
+impl persp_uarch::MetricsSource for SlabAllocator {
+    fn export_metrics(&self, prefix: &str, reg: &mut persp_uarch::MetricsRegistry) {
+        reg.set(format!("{prefix}.object_allocs"), self.stats.object_allocs);
+        reg.set(format!("{prefix}.object_frees"), self.stats.object_frees);
+        reg.set(format!("{prefix}.page_allocs"), self.stats.page_allocs);
+        reg.set(format!("{prefix}.page_frees"), self.stats.page_frees);
+        reg.set(format!("{prefix}.live_pages"), self.pages.len() as u64);
+        let (active, total) = self.utilization();
+        reg.set(format!("{prefix}.active_bytes"), active);
+        reg.set(format!("{prefix}.total_bytes"), total);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,6 +53,7 @@ pub mod config;
 pub mod hooks;
 pub mod isa;
 pub mod machine;
+pub mod metrics;
 pub mod pipeline;
 pub mod policy;
 pub mod predictor;
@@ -61,6 +62,7 @@ pub mod testkit;
 
 pub use config::CoreConfig;
 pub use machine::{Asid, Machine, Mode};
+pub use metrics::{MetricsRegistry, MetricsSource};
 pub use pipeline::{Core, RunSummary, SimError};
 pub use policy::{BlockSource, LoadCtx, LoadDecision, PolicyCounters, SpecPolicy};
 pub use stats::SimStats;

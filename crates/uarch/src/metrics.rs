@@ -1,0 +1,117 @@
+//! A lightweight named-counter registry.
+//!
+//! Every layer of the stack (pipeline, speculation policy, hardware
+//! metadata caches, kernel allocators) exports its counters into one
+//! [`MetricsRegistry`] under dotted names (`"isv_cache.hits"`,
+//! `"slab.page_frees"`, ...). The registry is an ordered map, so
+//! iteration — and therefore every serialized form — is deterministic:
+//! two runs that count the same things render byte-identically whatever
+//! the thread count or insertion order.
+
+use std::collections::BTreeMap;
+
+/// An ordered collection of named `u64` counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set `name` to `value` (overwrites).
+    pub fn set(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.insert(name.into(), value);
+    }
+
+    /// Add `value` to `name` (starting from zero).
+    pub fn add(&mut self, name: impl Into<String>, value: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += value;
+    }
+
+    /// The value of `name`, if set.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Iterate counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merge another registry in (other's values overwrite on collision).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in other.iter() {
+            self.counters.insert(k.to_string(), v);
+        }
+    }
+}
+
+/// Implemented by components that can export their counters under a
+/// name prefix (`"<prefix>.<counter>"`).
+pub trait MetricsSource {
+    /// Write this component's counters into `reg` under `prefix`.
+    fn export_metrics(&self, prefix: &str, reg: &mut MetricsRegistry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_add_get() {
+        let mut r = MetricsRegistry::new();
+        r.set("a.x", 3);
+        r.add("a.x", 2);
+        r.add("a.y", 1);
+        assert_eq!(r.get("a.x"), Some(5));
+        assert_eq!(r.get("a.y"), Some(1));
+        assert_eq!(r.get("a.z"), None);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered_regardless_of_insertion() {
+        let mut r1 = MetricsRegistry::new();
+        r1.set("b", 2);
+        r1.set("a", 1);
+        r1.set("c", 3);
+        let mut r2 = MetricsRegistry::new();
+        r2.set("c", 3);
+        r2.set("a", 1);
+        r2.set("b", 2);
+        let k1: Vec<_> = r1.iter().collect();
+        let k2: Vec<_> = r2.iter().collect();
+        assert_eq!(k1, k2);
+        assert_eq!(k1[0].0, "a");
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    }
+
+    #[test]
+    fn merge_overwrites_on_collision() {
+        let mut r1 = MetricsRegistry::new();
+        r1.set("x", 1);
+        r1.set("y", 2);
+        let mut r2 = MetricsRegistry::new();
+        r2.set("y", 20);
+        r2.set("z", 30);
+        r1.merge(&r2);
+        assert_eq!(r1.get("x"), Some(1));
+        assert_eq!(r1.get("y"), Some(20));
+        assert_eq!(r1.get("z"), Some(30));
+    }
+}

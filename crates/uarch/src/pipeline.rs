@@ -156,6 +156,9 @@ struct RobEntry {
     store_val: u64,
     issued_mem: bool,
     blocked: Option<BlockSource>,
+    /// First blocking source, kept after the VP re-issue clears `blocked`
+    /// so the post-fence memory latency is still attributed to the fence.
+    block_memo: Option<BlockSource>,
     was_blocked: bool,
     spec_at_issue: bool,
     taint: TaintSet,
@@ -200,6 +203,10 @@ pub struct Core {
 
     fetch_pc: u64,
     fetch_stall_until: u64,
+    /// End of the most recent mispredict-redirect penalty window — lets
+    /// stall attribution tell squash recovery apart from other front-end
+    /// stalls.
+    squash_redirect_until: u64,
     fetch_halted: bool,
     fetch_wait_indirect: Option<u64>,
     last_fetch_line: u64,
@@ -238,6 +245,7 @@ impl Core {
             halted: false,
             fetch_pc: 0,
             fetch_stall_until: 0,
+            squash_redirect_until: 0,
             fetch_halted: false,
             fetch_wait_indirect: None,
             last_fetch_line: u64::MAX,
@@ -303,6 +311,7 @@ impl Core {
         self.halted = false;
         self.fetch_pc = entry;
         self.fetch_stall_until = self.now;
+        self.squash_redirect_until = self.now;
         self.fetch_halted = false;
         self.fetch_wait_indirect = None;
         self.last_fetch_line = u64::MAX;
@@ -333,7 +342,12 @@ impl Core {
         self.exec_stage();
         self.squash_stage();
         self.vp_stage();
-        self.commit_stage()?;
+        let committed = self.commit_stage()?;
+        if committed == 0 {
+            // Classify before fetch refills the ROB: the state that
+            // produced the empty commit slot is what gets the blame.
+            self.record_stall();
+        }
         self.fetch_stage()?;
         if self.machine.mode == Mode::Kernel {
             self.stats.kernel_cycles += 1;
@@ -561,6 +575,7 @@ impl Core {
                         LoadDecision::BlockUntilVp(src) => {
                             let e = &mut self.rob[i];
                             e.blocked = Some(src);
+                            e.block_memo = Some(src);
                             e.was_blocked = true;
                             e.addr = addr;
                             e.width = width;
@@ -677,6 +692,7 @@ impl Core {
 
         self.fetch_pc = actual_target;
         self.fetch_stall_until = self.now + self.cfg.mispredict_penalty;
+        self.squash_redirect_until = self.fetch_stall_until;
         self.fetch_halted = false;
         self.fetch_wait_indirect = None;
         self.last_fetch_line = u64::MAX;
@@ -726,9 +742,53 @@ impl Core {
         }
     }
 
+    // ----- stall attribution --------------------------------------------
+
+    /// Account one stall cycle (nothing committed this cycle) to the
+    /// mechanism holding the ROB head back. Exactly one breakdown class
+    /// is bumped per call, so the breakdown always sums to
+    /// `stats.stall_cycles`.
+    fn record_stall(&mut self) {
+        self.stats.stall_cycles += 1;
+        let b = &mut self.stats.stalls;
+        let Some(head) = self.rob.front() else {
+            // Empty ROB: the front end is the bottleneck — either a
+            // squash-redirect penalty or an ordinary fetch stall.
+            if self.now < self.squash_redirect_until {
+                b.squash += 1;
+            } else {
+                b.frontend += 1;
+            }
+            return;
+        };
+        // A policy-blocked head load — or one still paying the memory
+        // latency of its delayed (post-VP) issue — blames the policy.
+        let policy_src = head.blocked.or((head.computed
+            && head.ready_at > self.now
+            && head.was_blocked)
+            .then_some(head.block_memo)
+            .flatten());
+        if let Some(src) = policy_src {
+            match src {
+                BlockSource::Isv => b.isv_fence += 1,
+                BlockSource::IsvMiss => b.isv_miss += 1,
+                BlockSource::Dsv | BlockSource::UnknownAlloc => b.dsv_fence += 1,
+                BlockSource::DsvmtMiss => b.dsvmt_miss += 1,
+                BlockSource::Fence | BlockSource::Dom | BlockSource::Stt => b.vp_wait += 1,
+            }
+            return;
+        }
+        if !head.computed && head.fetch_ready > self.now {
+            b.frontend += 1;
+        } else {
+            b.backend += 1;
+        }
+    }
+
     // ----- commit -------------------------------------------------------
 
-    fn commit_stage(&mut self) -> Result<(), SimError> {
+    fn commit_stage(&mut self) -> Result<u32, SimError> {
+        let mut committed = 0u32;
         for _ in 0..self.cfg.width {
             let Some(head) = self.rob.front() else { break };
 
@@ -755,6 +815,7 @@ impl Core {
             let entry = self.rob.pop_front().expect("nonempty");
             self.last_commit_cycle = self.now;
             self.stats.committed_insts += 1;
+            committed += 1;
 
             // Free the rename slot if this entry is still the last writer.
             if let Some(dst) = entry.inst.dst() {
@@ -845,13 +906,13 @@ impl Core {
                 }
                 Inst::Halt => {
                     self.halted = true;
-                    return Ok(());
+                    return Ok(committed);
                 }
                 _ => {}
             }
             self.machine.pc = entry.pc;
         }
-        Ok(())
+        Ok(committed)
     }
 
     // ----- fetch / decode --------------------------------------------------
@@ -960,6 +1021,7 @@ impl Core {
             store_val: 0,
             issued_mem: false,
             blocked: None,
+            block_memo: None,
             was_blocked: false,
             spec_at_issue: false,
             taint: TaintSet::default(),
@@ -1371,6 +1433,69 @@ mod tests {
         assert_eq!(core.machine.reg(20), 42);
         assert_eq!(core.machine.reg(21), 0);
         assert_eq!(core.machine.reg(22), 2);
+    }
+
+    #[test]
+    fn stall_attribution_partitions_stall_cycles() {
+        // A loop with dependent loads + branches exercises frontend,
+        // backend, and squash stall classes.
+        let mut a = Assembler::new(0x2000);
+        a.movi(1, 0);
+        a.movi(2, 40);
+        a.movi(4, 0x8000);
+        let top = a.here();
+        a.load(5, 4, 0);
+        a.load(6, 5, 0);
+        a.alui(AluOp::Add, 1, 1, 1);
+        a.branch_to(Cond::Ne, 1, 2, top);
+        a.push(Inst::Halt);
+        let mut core = core_with(a.finish());
+        core.machine.mem.write_u64(0x8000, 0x9000);
+        core.machine.mem.write_u64(0x9000, 7);
+        let summary = core.run(0x2000, 1_000_000).expect("runs");
+        let s = summary.stats;
+        assert!(s.stall_cycles > 0, "dependent loads must stall: {s:?}");
+        assert_eq!(
+            s.stalls.total(),
+            s.stall_cycles,
+            "breakdown must partition the stall cycles exactly: {s:?}"
+        );
+        assert!(s.stall_cycles < s.cycles, "some cycles committed");
+    }
+
+    #[test]
+    fn fence_stalls_are_attributed_to_vp_wait() {
+        use crate::policy::FencePolicy;
+        // Speculative loads under FENCE wait for their VP; those waits
+        // must land in the vp_wait class, and the partition must hold.
+        // The branch condition depends on the loaded value, so each
+        // iteration's load computes under the previous iteration's
+        // still-unresolved branch — a real speculation window.
+        let mut a = Assembler::new(0x2000);
+        a.movi(1, 0);
+        a.movi(2, 20);
+        a.movi(4, 0x8000);
+        let top = a.here();
+        a.load(3, 4, 0); // r3 = 1
+        a.alu(AluOp::Add, 1, 1, 3); // r1 += r3
+        a.branch_to(Cond::Ne, 1, 2, top);
+        a.push(Inst::Halt);
+        let mut machine = Machine::new();
+        machine.load_text(a.finish());
+        machine.mem.write_u64(0x8000, 1);
+        let mut core = Core::new(
+            CoreConfig::paper_default(),
+            machine,
+            MemoryHierarchy::new(HierarchyConfig::paper_default()),
+            Box::new(FencePolicy::new()),
+            Box::new(NullHooks),
+        );
+        let summary = core.run(0x2000, 1_000_000).expect("runs");
+        let s = summary.stats;
+        assert_eq!(s.stalls.total(), s.stall_cycles, "{s:?}");
+        assert!(s.loads_fenced > 0, "FENCE blocked loads: {s:?}");
+        assert!(s.stalls.vp_wait > 0, "fence waits attributed: {s:?}");
+        assert_eq!(s.stalls.isv_fence, 0, "no ISV mechanism here");
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub struct LoadCtx {
 }
 
 /// Which mechanism blocked a load (for Table 10.1-style accounting).
+///
+/// The `*Miss` variants distinguish conservative blocks caused by a
+/// metadata-cache miss from definitive out-of-view answers; they fold
+/// into the same ISV/DSV totals in [`PolicyCounters`] and the fence
+/// breakdown, but drive separate stall-cycle attribution classes
+/// (see `persp_uarch::stats::StallBreakdown`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockSource {
     /// The FENCE baseline.
@@ -53,10 +59,14 @@ pub enum BlockSource {
     Dom,
     /// Speculative taint tracking.
     Stt,
-    /// Outside the instruction speculation view (or ISV cache miss).
+    /// Outside the instruction speculation view (ISV-cache hit, bit clear).
     Isv,
-    /// Outside the data speculation view (or DSVMT cache miss).
+    /// ISV-cache miss: blocked conservatively while the refill runs.
+    IsvMiss,
+    /// Outside the data speculation view (DSVMT-cache hit, bit clear).
     Dsv,
+    /// DSVMT-cache miss: blocked conservatively while the refill runs.
+    DsvmtMiss,
     /// Access to memory with unknown ownership.
     UnknownAlloc,
 }
@@ -101,8 +111,8 @@ impl PolicyCounters {
                 BlockSource::Fence => self.blocked_fence += 1,
                 BlockSource::Dom => self.blocked_dom += 1,
                 BlockSource::Stt => self.blocked_stt += 1,
-                BlockSource::Isv => self.blocked_isv += 1,
-                BlockSource::Dsv => self.blocked_dsv += 1,
+                BlockSource::Isv | BlockSource::IsvMiss => self.blocked_isv += 1,
+                BlockSource::Dsv | BlockSource::DsvmtMiss => self.blocked_dsv += 1,
                 BlockSource::UnknownAlloc => self.blocked_unknown += 1,
             },
         }
@@ -116,6 +126,19 @@ impl PolicyCounters {
             + self.blocked_isv
             + self.blocked_dsv
             + self.blocked_unknown
+    }
+}
+
+impl crate::metrics::MetricsSource for PolicyCounters {
+    fn export_metrics(&self, prefix: &str, reg: &mut crate::metrics::MetricsRegistry) {
+        reg.set(format!("{prefix}.loads_checked"), self.loads_checked);
+        reg.set(format!("{prefix}.allowed"), self.allowed);
+        reg.set(format!("{prefix}.blocked_fence"), self.blocked_fence);
+        reg.set(format!("{prefix}.blocked_dom"), self.blocked_dom);
+        reg.set(format!("{prefix}.blocked_stt"), self.blocked_stt);
+        reg.set(format!("{prefix}.blocked_isv"), self.blocked_isv);
+        reg.set(format!("{prefix}.blocked_dsv"), self.blocked_dsv);
+        reg.set(format!("{prefix}.blocked_unknown"), self.blocked_unknown);
     }
 }
 

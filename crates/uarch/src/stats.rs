@@ -1,5 +1,75 @@
 //! Simulation statistics collected by the core.
 
+use crate::metrics::{MetricsRegistry, MetricsSource};
+
+/// Attribution of stall cycles (cycles in which nothing committed) to
+/// the mechanism holding the ROB head back — the cycle-level counterpart
+/// of the fence counts in Table 10.1. The classes partition the stall
+/// cycles exactly: [`StallBreakdown::total`] always equals
+/// [`SimStats::stall_cycles`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Head load fenced by the ISV mechanism (outside the view).
+    pub isv_fence: u64,
+    /// Head load fenced by the DSV mechanism (foreign/unknown data).
+    pub dsv_fence: u64,
+    /// Head load blocked conservatively on an ISV-cache miss.
+    pub isv_miss: u64,
+    /// Head load blocked conservatively on a DSVMT-cache miss.
+    pub dsvmt_miss: u64,
+    /// Pipeline refilling after a squash (mispredict redirect penalty).
+    pub squash: u64,
+    /// Head load waiting for its visibility point under a baseline
+    /// policy (FENCE / DOM / STT).
+    pub vp_wait: u64,
+    /// Front end starved the ROB (fetch latency, serializing restart,
+    /// I-cache miss) — no blocked load at fault.
+    pub frontend: u64,
+    /// Back end: head waiting on operands or execution latency.
+    pub backend: u64,
+}
+
+impl StallBreakdown {
+    /// Total attributed stall cycles (sums the partition).
+    pub fn total(&self) -> u64 {
+        self.isv_fence
+            + self.dsv_fence
+            + self.isv_miss
+            + self.dsvmt_miss
+            + self.squash
+            + self.vp_wait
+            + self.frontend
+            + self.backend
+    }
+
+    /// Fieldwise difference (for region-of-interest measurement).
+    pub fn delta_since(&self, earlier: &StallBreakdown) -> StallBreakdown {
+        StallBreakdown {
+            isv_fence: self.isv_fence - earlier.isv_fence,
+            dsv_fence: self.dsv_fence - earlier.dsv_fence,
+            isv_miss: self.isv_miss - earlier.isv_miss,
+            dsvmt_miss: self.dsvmt_miss - earlier.dsvmt_miss,
+            squash: self.squash - earlier.squash,
+            vp_wait: self.vp_wait - earlier.vp_wait,
+            frontend: self.frontend - earlier.frontend,
+            backend: self.backend - earlier.backend,
+        }
+    }
+}
+
+impl MetricsSource for StallBreakdown {
+    fn export_metrics(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        reg.set(format!("{prefix}.isv_fence"), self.isv_fence);
+        reg.set(format!("{prefix}.dsv_fence"), self.dsv_fence);
+        reg.set(format!("{prefix}.isv_miss"), self.isv_miss);
+        reg.set(format!("{prefix}.dsvmt_miss"), self.dsvmt_miss);
+        reg.set(format!("{prefix}.squash"), self.squash);
+        reg.set(format!("{prefix}.vp_wait"), self.vp_wait);
+        reg.set(format!("{prefix}.frontend"), self.frontend);
+        reg.set(format!("{prefix}.backend"), self.backend);
+    }
+}
+
 /// Counters accumulated while the pipeline runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -28,6 +98,10 @@ pub struct SimStats {
     pub syscalls: u64,
     /// Loads that were blocked at least once by the speculation policy.
     pub loads_fenced: u64,
+    /// Cycles in which no instruction committed.
+    pub stall_cycles: u64,
+    /// Attribution of the stall cycles to their blocking mechanism.
+    pub stalls: StallBreakdown,
 }
 
 impl SimStats {
@@ -74,7 +148,34 @@ impl SimStats {
             transient_loads_issued: self.transient_loads_issued - earlier.transient_loads_issued,
             syscalls: self.syscalls - earlier.syscalls,
             loads_fenced: self.loads_fenced - earlier.loads_fenced,
+            stall_cycles: self.stall_cycles - earlier.stall_cycles,
+            stalls: self.stalls.delta_since(&earlier.stalls),
         }
+    }
+}
+
+impl MetricsSource for SimStats {
+    fn export_metrics(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        reg.set(format!("{prefix}.cycles"), self.cycles);
+        reg.set(format!("{prefix}.kernel_cycles"), self.kernel_cycles);
+        reg.set(format!("{prefix}.user_cycles"), self.user_cycles);
+        reg.set(format!("{prefix}.committed_insts"), self.committed_insts);
+        reg.set(format!("{prefix}.committed_loads"), self.committed_loads);
+        reg.set(format!("{prefix}.committed_stores"), self.committed_stores);
+        reg.set(
+            format!("{prefix}.committed_branches"),
+            self.committed_branches,
+        );
+        reg.set(format!("{prefix}.squashes"), self.squashes);
+        reg.set(format!("{prefix}.squashed_insts"), self.squashed_insts);
+        reg.set(
+            format!("{prefix}.transient_loads_issued"),
+            self.transient_loads_issued,
+        );
+        reg.set(format!("{prefix}.syscalls"), self.syscalls);
+        reg.set(format!("{prefix}.loads_fenced"), self.loads_fenced);
+        reg.set(format!("{prefix}.stall_cycles"), self.stall_cycles);
+        self.stalls.export_metrics(&format!("{prefix}.stall"), reg);
     }
 }
 
@@ -103,6 +204,56 @@ mod tests {
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.kernel_time_fraction(), 0.0);
         assert_eq!(s.fences_per_kilo_inst(), 0.0);
+    }
+
+    #[test]
+    fn stall_breakdown_total_and_delta() {
+        let a = StallBreakdown {
+            isv_fence: 1,
+            dsv_fence: 2,
+            isv_miss: 3,
+            dsvmt_miss: 4,
+            squash: 5,
+            vp_wait: 6,
+            frontend: 7,
+            backend: 8,
+        };
+        assert_eq!(a.total(), 36);
+        let b = StallBreakdown {
+            isv_fence: 10,
+            dsv_fence: 12,
+            isv_miss: 13,
+            dsvmt_miss: 14,
+            squash: 15,
+            vp_wait: 16,
+            frontend: 17,
+            backend: 18,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.total(), b.total() - a.total());
+        assert_eq!(d.isv_fence, 9);
+        assert_eq!(d.backend, 10);
+    }
+
+    #[test]
+    fn metrics_export_covers_the_stall_partition() {
+        let mut s = SimStats {
+            cycles: 10,
+            stall_cycles: 3,
+            ..Default::default()
+        };
+        s.stalls.vp_wait = 2;
+        s.stalls.frontend = 1;
+        let mut reg = MetricsRegistry::new();
+        s.export_metrics("sim", &mut reg);
+        assert_eq!(reg.get("sim.cycles"), Some(10));
+        assert_eq!(reg.get("sim.stall.vp_wait"), Some(2));
+        let stall_sum: u64 = reg
+            .iter()
+            .filter(|(k, _)| k.starts_with("sim.stall."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(stall_sum, reg.get("sim.stall_cycles").unwrap());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use persp_uarch::config::CoreConfig;
 use persp_uarch::machine::Machine;
 use persp_uarch::pipeline::Core;
 use persp_uarch::stats::SimStats;
-use persp_uarch::Asid;
+use persp_uarch::{Asid, MetricsRegistry, MetricsSource};
 use perspective::framework::Perspective;
 use perspective::hwcache::HwCacheStats;
 use perspective::isv::Isv;
@@ -53,6 +53,11 @@ pub struct Measurement {
     pub dsvmt_cache: Option<HwCacheStats>,
     /// Functions in the installed ISV (for Table 8.1), when applicable.
     pub isv_funcs: Option<usize>,
+    /// Named counters from every layer (pipeline, policy, hardware
+    /// caches, kernel allocators) — the machine-readable form of the
+    /// measurement, keyed by dotted names (`"sim.stall.vp_wait"`,
+    /// `"kernel.slab.page_frees"`, ...).
+    pub metrics: MetricsRegistry,
 }
 
 impl Measurement {
@@ -161,6 +166,18 @@ impl SimInstance {
     }
 }
 
+/// Collect the named-counter registry for a finished ROI: the stats
+/// delta under `"sim"`, the Perspective policy (fence attribution,
+/// decision counters, metadata-cache hit rates) under `"policy"`, and
+/// the kernel allocators under `"kernel"`.
+fn collect_metrics(instance: &SimInstance, stats: &SimStats) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    stats.export_metrics("sim", &mut reg);
+    instance.policy_view(|p| p.export_metrics("policy", &mut reg));
+    instance.kernel.borrow().export_metrics("kernel", &mut reg);
+    reg
+}
+
 /// Resolve a raw call trace (committed call-target VAs) to the set of
 /// traced kernel functions. One dense-map probe per distinct VA; the
 /// result feeds [`Isv::dynamic_from_funcs`] without further VA decoding.
@@ -264,6 +281,7 @@ pub fn measure_image_cfg(
         isv_cache: instance.policy_view(|p| p.isv_cache_stats()),
         dsvmt_cache: instance.policy_view(|p| p.dsvmt_cache_stats()),
         isv_funcs,
+        metrics: collect_metrics(&instance, &stats),
     }
 }
 
@@ -334,6 +352,7 @@ pub fn measure_per_syscall_image(
         isv_cache: instance.policy_view(|p| p.isv_cache_stats()),
         dsvmt_cache: instance.policy_view(|p| p.dsvmt_cache_stats()),
         isv_funcs: Some(total_funcs),
+        metrics: collect_metrics(&instance, &stats),
     }
 }
 
@@ -349,14 +368,26 @@ pub fn measure_schemes(
 }
 
 /// Worker-pool width: the `PERSPECTIVE_THREADS` environment variable when
-/// it parses to a positive integer, else the machine's available
-/// parallelism. `PERSPECTIVE_THREADS=1` forces fully serial execution.
+/// it parses to a positive integer (accepted range: `1..=usize::MAX`;
+/// `1` forces fully serial execution), else the machine's available
+/// parallelism. A value that is set but invalid — zero, negative, or
+/// not a number — is rejected with a one-line warning on stderr naming
+/// the bad value, and the default width is used instead.
 pub fn num_threads() -> usize {
-    std::env::var("PERSPECTIVE_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    let fallback = std::thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var("PERSPECTIVE_THREADS") {
+        Err(_) => fallback,
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid PERSPECTIVE_THREADS={v:?} \
+                     (expected an integer >= 1); using {fallback} threads"
+                );
+                fallback
+            }
+        },
+    }
 }
 
 /// Run `f` over `jobs` on a scoped worker pool of `threads` threads.
@@ -424,10 +455,22 @@ pub fn run_matrix(
     schemes: &[Scheme],
     workloads: &[Workload],
 ) -> Vec<Measurement> {
+    run_matrix_with(num_threads(), image, schemes, workloads)
+}
+
+/// [`run_matrix`] at an explicit worker-pool width — the environment-free
+/// entry point; the determinism tests drive this directly instead of
+/// mutating `PERSPECTIVE_THREADS`.
+pub fn run_matrix_with(
+    threads: usize,
+    image: &KernelImage,
+    schemes: &[Scheme],
+    workloads: &[Workload],
+) -> Vec<Measurement> {
     let jobs: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..schemes.len()).map(move |s| (w, s)))
         .collect();
-    run_parallel(jobs, |(w, s)| {
+    run_parallel_with(threads, jobs, |(w, s)| {
         measure_image(schemes[s], image, &workloads[w])
     })
 }
@@ -508,6 +551,36 @@ mod tests {
             "FENCE {fence_ov:.3} must cost more than Perspective {persp_ov:.3}"
         );
         assert!(fence_ov > 0.10, "select is FENCE's bad case: {fence_ov:.3}");
+    }
+
+    #[test]
+    fn stall_attribution_partitions_roi_stall_cycles() {
+        let w = lebench::by_name("getpid").unwrap();
+        let ms = measure_schemes(
+            &[Scheme::Unsafe, Scheme::Fence, Scheme::Perspective],
+            kcfg(),
+            &w,
+        );
+        for m in &ms {
+            assert_eq!(
+                m.stats.stalls.total(),
+                m.stats.stall_cycles,
+                "{}: stall classes must partition the stall cycles",
+                m.scheme
+            );
+            assert_eq!(
+                m.metrics.get("sim.stall_cycles"),
+                Some(m.stats.stall_cycles)
+            );
+            assert_eq!(m.metrics.get("sim.cycles"), Some(m.stats.cycles));
+        }
+        // Perspective measurements also export policy and kernel layers.
+        let persp = &ms[2];
+        assert!(persp.metrics.get("policy.fences.isv").is_some());
+        assert!(persp.metrics.get("kernel.slab.object_allocs").is_some());
+        // Baselines have no policy layer but still export the kernel.
+        assert!(ms[0].metrics.get("policy.fences.isv").is_none());
+        assert!(ms[0].metrics.get("kernel.buddy.allocs").is_some());
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! The parallel experiment matrix must be a pure optimization: the same
 //! measurement sequence, byte for byte, whatever the worker count.
+//!
+//! Every test here passes its worker-pool width explicitly through
+//! `run_parallel_with` / `run_matrix_with` — none of them reads or
+//! writes `PERSPECTIVE_THREADS`, so they are safe under the default
+//! multi-threaded test harness.
 
 use persp_kernel::callgraph::KernelConfig;
 use persp_kernel::kernel::KernelImage;
@@ -22,16 +27,8 @@ fn matrix_is_identical_serial_and_parallel() {
         lebench::by_name("small-read").unwrap(),
     ];
 
-    // This test owns PERSPECTIVE_THREADS while it runs: the other tests
-    // in this binary pass explicit widths and never read the variable.
-    std::env::set_var("PERSPECTIVE_THREADS", "1");
-    assert_eq!(runner::num_threads(), 1);
-    let serial = runner::run_matrix(&image, &schemes, &workloads);
-
-    std::env::set_var("PERSPECTIVE_THREADS", "8");
-    assert_eq!(runner::num_threads(), 8);
-    let parallel = runner::run_matrix(&image, &schemes, &workloads);
-    std::env::remove_var("PERSPECTIVE_THREADS");
+    let serial = runner::run_matrix_with(1, &image, &schemes, &workloads);
+    let parallel = runner::run_matrix_with(8, &image, &schemes, &workloads);
 
     assert_eq!(serial.len(), schemes.len() * workloads.len());
     assert_eq!(
@@ -74,4 +71,39 @@ fn run_parallel_serial_width_matches_map() {
     let jobs = vec![3usize, 1, 4, 1, 5];
     let doubled = runner::run_parallel_with(1, jobs.clone(), |x| x * 2);
     assert_eq!(doubled, jobs.into_iter().map(|x| x * 2).collect::<Vec<_>>());
+}
+
+#[test]
+fn run_parallel_result_order_is_stable_across_widths() {
+    // Widths below, at, and above the job count (and a prime that
+    // divides nothing) must all return submission order.
+    let jobs: Vec<usize> = (0..23).collect();
+    let expected: Vec<usize> = jobs.iter().map(|i| i * i + 1).collect();
+    for width in [1usize, 2, 7] {
+        let got = runner::run_parallel_with(width, jobs.clone(), |i| i * i + 1);
+        assert_eq!(got, expected, "width {width}");
+    }
+}
+
+#[test]
+fn run_parallel_propagates_worker_panics() {
+    for width in [1usize, 2, 7] {
+        let result = std::panic::catch_unwind(|| {
+            runner::run_parallel_with(width, (0..16).collect::<Vec<usize>>(), |i| {
+                if i == 11 {
+                    panic!("job {i} exploded");
+                }
+                i
+            })
+        });
+        let err = result.expect_err("the job panic must reach the caller");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+        assert!(
+            msg.contains("job 11 exploded"),
+            "width {width}: panic payload preserved, got {msg:?}"
+        );
+    }
 }
