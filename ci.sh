@@ -29,4 +29,12 @@ for exp in fig_9_2 table_10_1; do
     fi
 done
 
+echo "==> sni_check smoke run (small kernel): clean + canned fault plans"
+# The binary exits nonzero unless clean Perspective runs show zero SNI
+# violations, the UNSAFE baseline is flagged, the attack scenario leaks
+# only under UNSAFE, and 100% of injected faults are detected.
+PERSPECTIVE_KERNEL=small PERSPECTIVE_THREADS=4 \
+    ./target/release/sni_check --json >target/bench-json/sni_check.json
+./target/release/json_check <target/bench-json/sni_check.json
+
 echo "ci: all gates passed"

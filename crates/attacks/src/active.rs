@@ -181,7 +181,65 @@ pub fn run_active_attack_with_config(
         persp_uarch::config::CoreConfig::paper_default(),
         pcfg,
     );
-    let target = find_active_target(&lab).expect("generated kernel has a reachable cache gadget");
+    execute_attack(&mut lab, secret).expect("attack harness runs")
+}
+
+/// An active-attack run with the SNI checker attached.
+#[derive(Debug)]
+pub struct SniAttackReport {
+    /// The attack's own outcome (what the attacker recovered).
+    pub attack: ActiveAttackReport,
+    /// The checker's counters over the whole run.
+    pub sni: persp_uarch::SniCounters,
+}
+
+/// Run the active attack on an *instrumented* lab with the SNI
+/// checker's leakage monitor attached: allocation metadata is recorded
+/// even for baseline schemes, so the ground-truth oracle (judging with
+/// `oracle_cfg`, normally full enforcement) can taint the victim's
+/// secret and count transmits. Under UNSAFE the gadget's dependent
+/// probe access is a tainted transmit — the baseline *provably* leaks
+/// at the microarchitectural level, not just via the recovered byte;
+/// under full Perspective every counter must be zero.
+///
+/// # Errors
+///
+/// Returns a description instead of panicking if the simulation errors
+/// mid-phase (graceful degradation).
+pub fn run_active_attack_sni(
+    scheme: Scheme,
+    kcfg: KernelConfig,
+    secret: u8,
+    pcfg: PerspectiveConfig,
+    oracle_cfg: PerspectiveConfig,
+    shadow_budget: u64,
+) -> Result<SniAttackReport, String> {
+    let mut lab = AttackLab::instrumented(
+        scheme,
+        kcfg,
+        &[Sysno::Getpid],
+        persp_uarch::config::CoreConfig::paper_default(),
+        pcfg,
+    );
+    let oracle = lab
+        .perspective
+        .as_ref()
+        .expect("instrumented lab")
+        .sni_oracle(oracle_cfg);
+    lab.core
+        .attach_sni(persp_uarch::SniChecker::new(oracle, shadow_budget));
+    let attack = execute_attack(&mut lab, secret)?;
+    Ok(SniAttackReport {
+        attack,
+        sni: lab.core.stats().sni,
+    })
+}
+
+/// Execute the train → evict → attack → reload phases against a built
+/// lab; shared by the plain and SNI-instrumented entry points.
+fn execute_attack(lab: &mut AttackLab, secret: u8) -> Result<ActiveAttackReport, String> {
+    let scheme = lab.scheme;
+    let target = find_active_target(lab).ok_or("generated kernel has no reachable cache gadget")?;
 
     lab.plant_victim_secret(secret);
     let secret_va = lab.victim_secret_va();
@@ -196,7 +254,7 @@ pub fn run_active_attack_with_config(
     let train = training_program(text_base, &target, probe_base, 8);
     lab.core.machine.load_text(train);
     lab.run_as(lab.attacker, text_base, 3_000_000)
-        .expect("training runs");
+        .map_err(|e| format!("training under {scheme} failed: {e}"))?;
 
     // Phase 2 (harness): evict the bound chain and the secret line —
     // models the attacker's cache-contention eviction of kernel lines.
@@ -209,7 +267,7 @@ pub fn run_active_attack_with_config(
     let attack = attack_program(attack_base, &target, probe_base, result_base, oob_index);
     lab.core.machine.load_text(attack);
     lab.run_as(lab.attacker, attack_base, 3_000_000)
-        .expect("attack runs");
+        .map_err(|e| format!("attack phase under {scheme} failed: {e}"))?;
 
     // Read the attacker's result bitmap.
     let mut hot_lines = Vec::new();
@@ -229,12 +287,12 @@ pub fn run_active_attack_with_config(
     } else {
         AttackOutcome::Inconclusive
     };
-    ActiveAttackReport {
+    Ok(ActiveAttackReport {
         scheme,
         outcome,
         hot_lines,
         target,
-    }
+    })
 }
 
 /// Differential verdict: run the attack twice with different secrets; it
@@ -302,6 +360,53 @@ mod tests {
             Scheme::Dom,
             KernelConfig::test_small()
         ));
+    }
+
+    #[test]
+    fn sni_monitor_proves_the_unsafe_leak() {
+        let r = run_active_attack_sni(
+            Scheme::Unsafe,
+            KernelConfig::test_small(),
+            0x2A,
+            PerspectiveConfig::default(),
+            PerspectiveConfig::default(),
+            500_000,
+        )
+        .expect("instrumented attack runs");
+        assert!(
+            r.sni.secret_spec_loads > 0,
+            "the gadget's out-of-DSV load must be tainted: {:?}",
+            r.sni
+        );
+        assert!(
+            r.sni.tainted_transmits > 0,
+            "the dependent probe access must count as a transmit: {:?}",
+            r.sni
+        );
+    }
+
+    #[test]
+    fn sni_monitor_is_silent_under_full_perspective() {
+        let r = run_active_attack_sni(
+            Scheme::Perspective,
+            KernelConfig::test_small(),
+            0x2A,
+            PerspectiveConfig::default(),
+            PerspectiveConfig::default(),
+            500_000,
+        )
+        .expect("instrumented attack runs");
+        assert_eq!(
+            r.sni.violations(),
+            0,
+            "full enforcement must be non-interferent: {:?}",
+            r.sni
+        );
+        assert_eq!(r.sni.shadow_mismatches, 0);
+        assert!(
+            !r.attack.hot_lines.contains(&0x2A),
+            "and the byte stays secret"
+        );
     }
 
     #[test]

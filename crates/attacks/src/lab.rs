@@ -74,7 +74,34 @@ impl AttackLab {
         core_cfg: CoreConfig,
         pcfg: perspective::policy::PerspectiveConfig,
     ) -> Self {
-        let perspective = scheme.is_perspective().then(Perspective::new);
+        Self::build(scheme, kcfg, victim_syscalls, core_cfg, pcfg, false)
+    }
+
+    /// Like [`AttackLab::with_full_config`], but always wires a
+    /// Perspective framework's allocation sink into the kernel — even
+    /// for baseline schemes whose policies ignore it. The SNI checker's
+    /// ground-truth oracle needs ownership metadata to exist regardless
+    /// of whether the scheme enforces it, so `perspective` is always
+    /// `Some` on the returned lab.
+    pub fn instrumented(
+        scheme: Scheme,
+        kcfg: KernelConfig,
+        victim_syscalls: &[Sysno],
+        core_cfg: CoreConfig,
+        pcfg: perspective::policy::PerspectiveConfig,
+    ) -> Self {
+        Self::build(scheme, kcfg, victim_syscalls, core_cfg, pcfg, true)
+    }
+
+    fn build(
+        scheme: Scheme,
+        kcfg: KernelConfig,
+        victim_syscalls: &[Sysno],
+        core_cfg: CoreConfig,
+        pcfg: perspective::policy::PerspectiveConfig,
+        instrument: bool,
+    ) -> Self {
+        let perspective = (scheme.is_perspective() || instrument).then(Perspective::new);
         let kernel = match &perspective {
             Some(p) => Kernel::build(kcfg, p.sink()),
             None => Kernel::build_unprotected(kcfg),
@@ -87,7 +114,7 @@ impl AttackLab {
         let attacker = attacker_pid as Asid;
         let victim = victim_pid as Asid;
 
-        if let Some(p) = &perspective {
+        if let (Some(p), true) = (&perspective, scheme.is_perspective()) {
             let kernel_ref = shared.borrow();
             let graph = &kernel_ref.graph;
             let isv = match scheme {
@@ -117,8 +144,8 @@ impl AttackLab {
         }
 
         let policy: Box<dyn SpecPolicy> = match &perspective {
-            Some(p) => Box::new(p.policy(pcfg)),
-            None => scheme.build_policy(None),
+            Some(p) if scheme.is_perspective() => Box::new(p.policy(pcfg)),
+            _ => scheme.build_policy(None),
         };
 
         let core = Core::new(

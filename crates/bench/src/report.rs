@@ -129,7 +129,7 @@ impl Json {
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let v = parse_value(bytes, &mut pos)?;
+        let v = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing garbage at byte {pos}"));
@@ -137,6 +137,11 @@ impl Json {
         Ok(v)
     }
 }
+
+/// Maximum container nesting the parser accepts. Our own documents nest
+/// a handful of levels; the bound turns adversarial `[[[[...` input into
+/// an `Err` instead of a recursion-driven stack overflow.
+const MAX_DEPTH: usize = 128;
 
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
@@ -176,7 +181,13 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_DEPTH} at byte {pos}",
+            pos = *pos
+        ));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".into()),
@@ -193,7 +204,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Array(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -218,7 +229,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 pairs.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -237,7 +248,8 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
                 *pos += 1;
             }
-            let s = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+            let s = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|e| format!("invalid utf-8 in number at byte {start}: {e}"))?;
             s.parse::<i64>()
                 .map(Json::Int)
                 .map_err(|e| format!("bad integer {s:?}: {e}"))
@@ -247,7 +259,8 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
                 *pos += 1;
             }
-            let s = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+            let s = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|e| format!("invalid utf-8 in number at byte {start}: {e}"))?;
             s.parse::<u64>()
                 .map(Json::UInt)
                 .map_err(|e| format!("bad integer {s:?}: {e}"))
@@ -303,7 +316,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Consume one UTF-8 scalar (input is a &str, so slicing at
                 // the next boundary is safe).
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().unwrap();
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| format!("unterminated string at byte {pos}", pos = *pos))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -413,6 +429,48 @@ mod tests {
         assert!(Json::parse("{\"a\":}").is_err());
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn adversarial_inputs_error_instead_of_panicking() {
+        // Every one of these used to be able to reach an `unwrap()` (or
+        // unbounded recursion); all must now come back as Err.
+        let cases: &[&str] = &[
+            "-",                    // sign with no digits
+            "-9223372036854775809", // i64 underflow
+            "18446744073709551616", // u64 overflow
+            "\"\\",                 // escape at end of input
+            "\"\\u12",              // truncated \u escape
+            "\"\\uD800\"",          // lone surrogate codepoint
+            "\"\\q\"",              // unknown escape
+            "\"unterminated",       // no closing quote
+            "{\"k\"",               // object cut mid-pair
+            "nul",                  // truncated literal
+            "+5",                   // leading plus
+            "01x",                  // trailing garbage after digits
+        ];
+        for c in cases {
+            assert!(Json::parse(c).is_err(), "{c:?} must be rejected");
+        }
+        // Pathological nesting: an Err, not a stack overflow.
+        let deep = "[".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&deep_obj).is_err());
+        // But reasonable nesting still parses.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn multibyte_and_escape_content_round_trips() {
+        let doc = Json::obj(vec![
+            ("emoji", Json::str("héllo \u{1F980} wörld")),
+            ("ctl", Json::str("\u{1}\u{2}\u{1f}")),
+            ("slash", Json::str("a/b\\c\"d")),
+        ]);
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
     }
 
     #[test]

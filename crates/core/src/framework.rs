@@ -90,6 +90,20 @@ impl Perspective {
     pub fn dsv(&self) -> Rc<RefCell<DsvTable>> {
         self.dsv.clone()
     }
+
+    /// A pristine ground-truth oracle over this framework's metadata,
+    /// for the speculative non-interference checker
+    /// ([`persp_uarch::sni::SniChecker`]). The oracle reads the
+    /// authoritative DSV table and ISV registry directly — never the
+    /// policy's metadata caches — so it defines what *should* have been
+    /// blocked independent of hardware-model state.
+    pub fn sni_oracle(&self, cfg: PerspectiveConfig) -> Rc<crate::sni_oracle::GroundTruth> {
+        Rc::new(crate::sni_oracle::GroundTruth::new(
+            cfg,
+            self.dsv.clone(),
+            self.isvs.clone(),
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -228,6 +228,18 @@ impl PerspectivePolicy {
         self.dsvmt_cache.reset_stats();
     }
 
+    /// Drop every ISV-cache and DSVMT entry tagged with `asid`.
+    ///
+    /// Used by the fault-injection harness ([`crate::fault::FaultInjector`])
+    /// to model metadata-cache evictions mid-run; the next access refills
+    /// from the authoritative tables, so this is always semantics-preserving
+    /// (an eviction can only cause conservative extra blocks, never an
+    /// unsafe allow).
+    pub fn fault_invalidate_metadata(&mut self, asid: Asid) {
+        self.isv_cache.invalidate_asid(asid);
+        self.dsvmt_cache.invalidate_asid(asid);
+    }
+
     fn sync_generation(&mut self, asid: Asid) {
         let gen = self.isvs.borrow().generation();
         if gen != self.seen_generation {

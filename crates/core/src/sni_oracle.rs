@@ -1,0 +1,181 @@
+//! Ground-truth speculation metadata for the SNI checker.
+//!
+//! [`GroundTruth`] implements [`persp_uarch::SniOracle`] directly over
+//! the framework's *pristine* DSV table and ISV registry — never the
+//! policy's hardware metadata caches (ISV cache / DSVMT), whose refill
+//! and staleness behaviour is exactly what the checker audits. The
+//! asymmetry principle: only **unsafe allows** (the policy permitting a
+//! speculative load the pristine metadata forbids) are violations;
+//! conservative extra blocks (cache-miss paths, fault-flipped blocks)
+//! are always legal.
+
+use crate::dsv::{DsvClass, DsvTable};
+use crate::policy::{IsvRegistry, PerspectiveConfig};
+use persp_kernel::sink::Owner;
+use persp_uarch::policy::LoadCtx;
+use persp_uarch::sni::SniOracle;
+use persp_uarch::{Asid, Mode};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Pristine DSV/ISV ground truth, shared with the framework via `Rc`.
+/// Build one with [`Perspective::sni_oracle`](crate::framework::Perspective::sni_oracle).
+pub struct GroundTruth {
+    cfg: PerspectiveConfig,
+    dsv: Rc<RefCell<DsvTable>>,
+    isvs: Rc<RefCell<IsvRegistry>>,
+}
+
+impl GroundTruth {
+    /// Build over shared metadata handles.
+    pub fn new(
+        cfg: PerspectiveConfig,
+        dsv: Rc<RefCell<DsvTable>>,
+        isvs: Rc<RefCell<IsvRegistry>>,
+    ) -> Self {
+        GroundTruth { cfg, dsv, isvs }
+    }
+
+    /// Classify `addr` against `asid`'s DSV without touching any
+    /// statistics (the read-only twin of [`DsvTable::classify`]).
+    pub fn dsv_class(&self, addr: u64, asid: Asid) -> DsvClass {
+        let dsv = self.dsv.borrow();
+        match dsv.owner_of(addr) {
+            None | Some(Owner::Unknown) => DsvClass::Unknown,
+            Some(Owner::Shared) => DsvClass::Shared,
+            Some(Owner::Cgroup(cg)) => {
+                if dsv.cgroup_of(asid) == Some(cg) {
+                    DsvClass::Owned
+                } else {
+                    DsvClass::Foreign
+                }
+            }
+        }
+    }
+
+    /// Is `addr` outside `asid`'s data speculation view (treating
+    /// unknown provenance per the configured `block_unknown`)?
+    pub fn out_of_dsv(&self, addr: u64, asid: Asid) -> bool {
+        match self.dsv_class(addr, asid) {
+            DsvClass::Owned | DsvClass::Shared => false,
+            DsvClass::Foreign => true,
+            DsvClass::Unknown => self.cfg.block_unknown,
+        }
+    }
+
+    /// Is `pc` outside the ISV governing this access? Vacuously `false`
+    /// when no view is installed (nothing to enforce).
+    pub fn out_of_isv(&self, pc: u64, asid: Asid, cur_sysno: Option<u16>) -> bool {
+        let isvs = self.isvs.borrow();
+        let view = if self.cfg.per_syscall_isv {
+            isvs.get_scoped(asid, cur_sysno)
+        } else {
+            isvs.get(asid)
+        };
+        match view {
+            Some(isv) => !isv.contains_va(pc),
+            None => false,
+        }
+    }
+}
+
+impl SniOracle for GroundTruth {
+    fn should_block(&self, ctx: &LoadCtx) -> bool {
+        if ctx.mode != Mode::Kernel || !ctx.speculative {
+            return false;
+        }
+        if self.cfg.enforce_isv && self.out_of_isv(ctx.pc, ctx.asid, ctx.cur_sysno) {
+            return true;
+        }
+        self.cfg.enforce_dsv && self.out_of_dsv(ctx.addr, ctx.asid)
+    }
+
+    fn is_secret(&self, ctx: &LoadCtx) -> bool {
+        // Secrecy is a property of the data's ownership, independent of
+        // whether enforcement is switched on — that is what lets the
+        // monitor prove the *unprotected* baseline leaks.
+        ctx.mode == Mode::Kernel && self.out_of_dsv(ctx.addr, ctx.asid)
+    }
+}
+
+impl std::fmt::Debug for GroundTruth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroundTruth")
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persp_kernel::sink::AllocSink;
+
+    fn truth() -> GroundTruth {
+        let dsv = Rc::new(RefCell::new(DsvTable::default()));
+        let isvs = Rc::new(RefCell::new(IsvRegistry::default()));
+        {
+            let mut t = dsv.borrow_mut();
+            t.register_context(1, 10);
+            t.register_context(2, 20);
+            t.assign_va_range(0x5000, 0x1000, Owner::Cgroup(10));
+            t.assign_va_range(0x7000, 0x1000, Owner::Cgroup(20));
+            t.assign_va_range(0x9000, 0x1000, Owner::Shared);
+        }
+        GroundTruth::new(PerspectiveConfig::default(), dsv, isvs)
+    }
+
+    fn kctx(addr: u64, asid: Asid, speculative: bool) -> LoadCtx {
+        LoadCtx {
+            pc: 0x100,
+            addr,
+            mode: Mode::Kernel,
+            asid,
+            speculative,
+            tainted_addr: false,
+            l1_hit: true,
+            cur_sysno: None,
+        }
+    }
+
+    #[test]
+    fn classification_matches_ownership() {
+        let t = truth();
+        assert_eq!(t.dsv_class(0x5800, 1), DsvClass::Owned);
+        assert_eq!(t.dsv_class(0x7800, 1), DsvClass::Foreign);
+        assert_eq!(t.dsv_class(0x9800, 1), DsvClass::Shared);
+        assert_eq!(t.dsv_class(0xF000, 1), DsvClass::Unknown);
+    }
+
+    #[test]
+    fn only_speculative_kernel_accesses_can_violate() {
+        let t = truth();
+        assert!(t.should_block(&kctx(0x7800, 1, true)), "foreign data");
+        assert!(!t.should_block(&kctx(0x7800, 1, false)), "non-speculative");
+        assert!(!t.should_block(&kctx(0x5800, 1, true)), "owned data");
+        assert!(t.should_block(&kctx(0xF000, 1, true)), "unknown blocked");
+        let mut user = kctx(0x7800, 1, true);
+        user.mode = Mode::User;
+        assert!(!t.should_block(&user), "user mode is unprotected");
+    }
+
+    #[test]
+    fn secrecy_ignores_enforcement_flags() {
+        let dsv = Rc::new(RefCell::new(DsvTable::default()));
+        let isvs = Rc::new(RefCell::new(IsvRegistry::default()));
+        dsv.borrow_mut().register_context(1, 10);
+        dsv.borrow_mut()
+            .assign_va_range(0x7000, 0x1000, Owner::Cgroup(20));
+        let t = GroundTruth::new(
+            PerspectiveConfig {
+                enforce_dsv: false,
+                enforce_isv: false,
+                ..PerspectiveConfig::default()
+            },
+            dsv,
+            isvs,
+        );
+        assert!(!t.should_block(&kctx(0x7800, 1, true)), "nothing enforced");
+        assert!(t.is_secret(&kctx(0x7800, 1, true)), "still a secret");
+    }
+}

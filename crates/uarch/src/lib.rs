@@ -57,6 +57,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod policy;
 pub mod predictor;
+pub mod sni;
 pub mod stats;
 pub mod testkit;
 
@@ -65,4 +66,5 @@ pub use machine::{Asid, Machine, Mode};
 pub use metrics::{MetricsRegistry, MetricsSource};
 pub use pipeline::{Core, RunSummary, SimError};
 pub use policy::{BlockSource, LoadCtx, LoadDecision, PolicyCounters, SpecPolicy};
-pub use stats::SimStats;
+pub use sni::{RetiredInst, SniChecker, SniOracle};
+pub use stats::{SimStats, SniCounters};

@@ -25,6 +25,7 @@ use crate::isa::{Inst, Width, INST_BYTES, NUM_REGS, REG_SYSNO};
 use crate::machine::{Machine, Mode};
 use crate::policy::{BlockSource, LoadCtx, LoadDecision, SpecPolicy};
 use crate::predictor::{History, Predictors, Rsb};
+use crate::sni::{RetiredInst, SniChecker};
 use crate::stats::SimStats;
 use persp_mem::MemoryHierarchy;
 use std::collections::VecDeque;
@@ -98,23 +99,37 @@ struct TaintSet {
 }
 
 impl TaintSet {
-    fn add_root(&mut self, seq: u64) {
+    /// Add a root; returns `true` when the set *newly* saturated (the
+    /// root could not be recorded individually), so the caller can count
+    /// the overflow instead of dropping attribution silently.
+    fn add_root(&mut self, seq: u64) -> bool {
         if self.roots[..self.len as usize].contains(&seq) {
-            return;
+            return false;
         }
         if (self.len as usize) < self.roots.len() {
             self.roots[self.len as usize] = seq;
             self.len += 1;
+            false
+        } else if self.saturated {
+            false
         } else {
             self.saturated = true;
+            true
         }
     }
 
-    fn merge(&mut self, other: &TaintSet) {
+    /// Merge another set in; returns `true` when the merge *newly*
+    /// saturated this set (saturation itself always propagates).
+    fn merge(&mut self, other: &TaintSet) -> bool {
+        let mut newly = false;
         for &r in &other.roots[..other.len as usize] {
-            self.add_root(r);
+            newly |= self.add_root(r);
         }
-        self.saturated |= other.saturated;
+        if other.saturated && !self.saturated {
+            self.saturated = true;
+            newly = true;
+        }
+        newly
     }
 }
 
@@ -217,6 +232,7 @@ pub struct Core {
     sq_used: usize,
 
     call_trace: Option<std::collections::HashSet<u64>>,
+    sni: Option<SniChecker>,
     stats: SimStats,
 }
 
@@ -254,8 +270,21 @@ impl Core {
             lq_used: 0,
             sq_used: 0,
             call_trace: None,
+            sni: None,
             stats: SimStats::default(),
         }
+    }
+
+    /// Attach a speculative non-interference checker; its counters
+    /// accumulate into this core's [`SimStats::sni`] and export as
+    /// `sim.sni.*` metrics.
+    pub fn attach_sni(&mut self, checker: SniChecker) {
+        self.sni = Some(checker);
+    }
+
+    /// Is an SNI checker attached?
+    pub fn sni_attached(&self) -> bool {
+        self.sni.is_some()
     }
 
     /// Start recording the *committed* control-transfer targets (calls,
@@ -320,6 +349,9 @@ impl Core {
         self.lq_used = 0;
         self.sq_used = 0;
         self.last_commit_cycle = self.now;
+        if let Some(sni) = self.sni.as_mut() {
+            sni.on_run_start(entry);
+        }
 
         while !self.halted {
             if self.now - start_cycle > max_cycles {
@@ -445,7 +477,9 @@ impl Core {
                 Some((v, r, t)) => {
                     vals.push(v);
                     src_ready = src_ready.max(r);
-                    taint.merge(&t);
+                    if taint.merge(&t) {
+                        self.stats.taint_roots_overflow += 1;
+                    }
                 }
                 None => return, // operands not ready
             }
@@ -570,6 +604,17 @@ impl Core {
                 if self.rob[i].blocked.is_none() {
                     match self.policy.check_load(&ctx) {
                         LoadDecision::Allow => {
+                            if speculative {
+                                if let Some(sni) = self.sni.as_mut() {
+                                    sni.on_spec_issue(
+                                        &ctx,
+                                        seq,
+                                        &taint.roots[..taint.len as usize],
+                                        taint.saturated,
+                                        &mut self.stats.sni,
+                                    );
+                                }
+                            }
                             self.issue_load(i, addr, width, taint, speculative, src_ready);
                         }
                         LoadDecision::BlockUntilVp(src) => {
@@ -588,7 +633,16 @@ impl Core {
             }
             Inst::CacheFlush { offset, .. } => {
                 let addr = vals[0].wrapping_add(offset as u64);
-                // Flushes are not transmitters; they perform at execute.
+                if speculative {
+                    if let Some(sni) = self.sni.as_mut() {
+                        sni.on_spec_flush(
+                            &taint.roots[..taint.len as usize],
+                            taint.saturated,
+                            &mut self.stats.sni,
+                        );
+                    }
+                }
+                // Flushes are not policy-gated; they perform at execute.
                 self.mem.flush(addr);
                 let e = &mut self.rob[i];
                 e.addr = addr;
@@ -619,7 +673,9 @@ impl Core {
         let value = self.machine.mem.read(addr, width);
         if speculative {
             let seq = self.rob[i].seq;
-            taint.add_root(seq);
+            if taint.add_root(seq) {
+                self.stats.taint_roots_overflow += 1;
+            }
         }
         let e = &mut self.rob[i];
         e.value = value;
@@ -670,6 +726,9 @@ impl Core {
         while self.rob.len() > i + 1 {
             let dropped = self.rob.pop_back().expect("len checked");
             self.stats.squashed_insts += 1;
+            if let Some(sni) = self.sni.as_mut() {
+                sni.on_squash(dropped.seq);
+            }
             if dropped.is_load() {
                 self.lq_used -= 1;
                 if dropped.issued_mem && dropped.spec_at_issue {
@@ -816,6 +875,26 @@ impl Core {
             self.last_commit_cycle = self.now;
             self.stats.committed_insts += 1;
             committed += 1;
+
+            // Differential shadow replay: check the retired instruction
+            // against architectural state *before* its commit effects.
+            if let Some(sni) = self.sni.as_mut() {
+                sni.on_commit(
+                    &RetiredInst {
+                        seq: entry.seq,
+                        pc: entry.pc,
+                        inst: entry.inst,
+                        value: entry.value,
+                        addr: entry.addr,
+                        width: entry.width,
+                        store_val: entry.store_val,
+                        taken: entry.actual_taken,
+                        target: entry.actual_target,
+                    },
+                    &self.machine,
+                    &mut self.stats.sni,
+                );
+            }
 
             // Free the rename slot if this entry is still the last writer.
             if let Some(dst) = entry.inst.dst() {

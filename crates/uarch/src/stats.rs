@@ -70,6 +70,77 @@ impl MetricsSource for StallBreakdown {
     }
 }
 
+/// Counters maintained by the speculative non-interference checker
+/// (shadow oracle + leakage monitor, [`crate::sni`]). All zero when the
+/// checker is not attached. Exported under `{prefix}.sni.*` — distinct
+/// from the `{prefix}.stall.*` namespace so the stall-partition
+/// invariant is untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SniCounters {
+    /// Retired instructions replayed by the in-order shadow oracle.
+    pub shadow_checked: u64,
+    /// Architectural-state divergences between the shadow replay and the
+    /// out-of-order pipeline. Any nonzero value is a simulator bug.
+    pub shadow_mismatches: u64,
+    /// Speculative kernel loads the policy allowed but the pristine
+    /// ground-truth metadata says must block — SNI violations at issue.
+    pub unsafe_issues: u64,
+    /// Speculative loads that read data outside the current context's
+    /// DSV (secret taint roots created).
+    pub secret_spec_loads: u64,
+    /// Transient (later-squashed) cache-state transmissions whose address
+    /// carried secret taint — observable leaks under the covert-channel
+    /// observation model.
+    pub tainted_transmits: u64,
+    /// Secret taint roots that retired architecturally (not transient);
+    /// dropped from leak attribution, counted for visibility.
+    pub committed_secret_roots: u64,
+}
+
+impl SniCounters {
+    /// Fieldwise difference (for region-of-interest measurement).
+    pub fn delta_since(&self, earlier: &SniCounters) -> SniCounters {
+        SniCounters {
+            shadow_checked: self.shadow_checked - earlier.shadow_checked,
+            shadow_mismatches: self.shadow_mismatches - earlier.shadow_mismatches,
+            unsafe_issues: self.unsafe_issues - earlier.unsafe_issues,
+            secret_spec_loads: self.secret_spec_loads - earlier.secret_spec_loads,
+            tainted_transmits: self.tainted_transmits - earlier.tainted_transmits,
+            committed_secret_roots: self.committed_secret_roots - earlier.committed_secret_roots,
+        }
+    }
+
+    /// Total SNI violations: ground-truth-unsafe issues plus tainted
+    /// transient transmissions (the two event classes the checker treats
+    /// as non-interference failures).
+    pub fn violations(&self) -> u64 {
+        self.unsafe_issues + self.tainted_transmits
+    }
+}
+
+impl MetricsSource for SniCounters {
+    fn export_metrics(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        reg.set(format!("{prefix}.shadow_checked"), self.shadow_checked);
+        reg.set(
+            format!("{prefix}.shadow_mismatches"),
+            self.shadow_mismatches,
+        );
+        reg.set(format!("{prefix}.unsafe_issues"), self.unsafe_issues);
+        reg.set(
+            format!("{prefix}.secret_spec_loads"),
+            self.secret_spec_loads,
+        );
+        reg.set(
+            format!("{prefix}.tainted_transmits"),
+            self.tainted_transmits,
+        );
+        reg.set(
+            format!("{prefix}.committed_secret_roots"),
+            self.committed_secret_roots,
+        );
+    }
+}
+
 /// Counters accumulated while the pipeline runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -100,6 +171,13 @@ pub struct SimStats {
     pub loads_fenced: u64,
     /// Cycles in which no instruction committed.
     pub stall_cycles: u64,
+    /// Events where a taint set's fixed root array filled and a new root
+    /// had to saturate the set (conservative over-taint, never dropped
+    /// attribution — but worth surfacing).
+    pub taint_roots_overflow: u64,
+    /// Speculative non-interference checker counters (zero when the
+    /// checker is not attached).
+    pub sni: SniCounters,
     /// Attribution of the stall cycles to their blocking mechanism.
     pub stalls: StallBreakdown,
 }
@@ -149,6 +227,8 @@ impl SimStats {
             syscalls: self.syscalls - earlier.syscalls,
             loads_fenced: self.loads_fenced - earlier.loads_fenced,
             stall_cycles: self.stall_cycles - earlier.stall_cycles,
+            taint_roots_overflow: self.taint_roots_overflow - earlier.taint_roots_overflow,
+            sni: self.sni.delta_since(&earlier.sni),
             stalls: self.stalls.delta_since(&earlier.stalls),
         }
     }
@@ -175,6 +255,11 @@ impl MetricsSource for SimStats {
         reg.set(format!("{prefix}.syscalls"), self.syscalls);
         reg.set(format!("{prefix}.loads_fenced"), self.loads_fenced);
         reg.set(format!("{prefix}.stall_cycles"), self.stall_cycles);
+        reg.set(
+            format!("{prefix}.taint_roots_overflow"),
+            self.taint_roots_overflow,
+        );
+        self.sni.export_metrics(&format!("{prefix}.sni"), reg);
         self.stalls.export_metrics(&format!("{prefix}.stall"), reg);
     }
 }
@@ -254,6 +339,32 @@ mod tests {
             .map(|(_, v)| v)
             .sum();
         assert_eq!(stall_sum, reg.get("sim.stall_cycles").unwrap());
+    }
+
+    #[test]
+    fn sni_and_overflow_counters_export_and_delta() {
+        let mut s = SimStats {
+            taint_roots_overflow: 4,
+            ..Default::default()
+        };
+        s.sni.shadow_checked = 100;
+        s.sni.unsafe_issues = 2;
+        s.sni.tainted_transmits = 3;
+        let mut reg = MetricsRegistry::new();
+        s.export_metrics("sim", &mut reg);
+        assert_eq!(reg.get("sim.taint_roots_overflow"), Some(4));
+        assert_eq!(reg.get("sim.sni.shadow_checked"), Some(100));
+        assert_eq!(reg.get("sim.sni.unsafe_issues"), Some(2));
+        assert_eq!(reg.get("sim.sni.tainted_transmits"), Some(3));
+        assert_eq!(s.sni.violations(), 5);
+        // The sni.* namespace must never pollute the stall partition.
+        assert!(reg
+            .iter()
+            .filter(|(k, _)| k.starts_with("sim.stall."))
+            .all(|(_, v)| v == 0));
+        let d = s.delta_since(&SimStats::default());
+        assert_eq!(d.taint_roots_overflow, 4);
+        assert_eq!(d.sni.shadow_checked, 100);
     }
 
     #[test]

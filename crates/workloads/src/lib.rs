@@ -15,6 +15,7 @@ pub mod cve_study;
 pub mod lebench;
 pub mod multiproc;
 pub mod runner;
+pub mod sni;
 pub mod spec;
 
 pub use apps::App;

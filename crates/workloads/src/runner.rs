@@ -139,6 +139,51 @@ impl SimInstance {
         }
     }
 
+    /// Build an *instrumented* instance for the SNI checker: the
+    /// Perspective framework's allocation sink is wired into the kernel
+    /// even for baseline schemes (whose policies ignore it), so the
+    /// ground-truth oracle has ownership metadata to judge every scheme
+    /// against. `perspective` is therefore always `Some`. The policy is
+    /// passed through `wrap` before entering the core — the hook the
+    /// fault injector uses.
+    pub fn instrumented(
+        scheme: Scheme,
+        image: &KernelImage,
+        pcfg: PerspectiveConfig,
+        wrap: impl FnOnce(
+            Box<dyn persp_uarch::policy::SpecPolicy>,
+            &Perspective,
+        ) -> Box<dyn persp_uarch::policy::SpecPolicy>,
+    ) -> Self {
+        let perspective = Perspective::new();
+        let kernel = Kernel::from_image(image, perspective.sink());
+        let shared = SharedKernel::new(kernel);
+        let mut machine = Machine::new();
+        shared.borrow().install(&mut machine);
+        let pid = shared.borrow_mut().create_process(1, &mut machine);
+        let asid = pid as Asid;
+        shared.borrow().set_current(asid, &mut machine);
+        let policy: Box<dyn persp_uarch::policy::SpecPolicy> = if scheme.is_perspective() {
+            Box::new(perspective.policy(pcfg))
+        } else {
+            scheme.build_policy(None)
+        };
+        let core = Core::new(
+            CoreConfig::paper_default(),
+            machine,
+            MemoryHierarchy::new(HierarchyConfig::paper_default()),
+            wrap(policy, &perspective),
+            Box::new(shared.clone()),
+        );
+        SimInstance {
+            core,
+            kernel: shared,
+            perspective: Some(perspective),
+            asid,
+            scheme,
+        }
+    }
+
     /// User text base of the workload process.
     pub fn text_base(&self) -> u64 {
         layout::user_text_base(u32::from(self.asid))
@@ -190,7 +235,11 @@ pub fn trace_to_funcs(graph: &CallGraph, trace: &HashSet<u64>) -> HashSet<FuncId
 
 /// The per-scheme ISV used for a workload: static from the declared
 /// profile, dynamic from the warmup trace, ISV++ audit-hardened.
-fn build_isv(instance: &SimInstance, workload: &Workload, trace: &HashSet<FuncId>) -> Option<Isv> {
+pub(crate) fn build_isv(
+    instance: &SimInstance,
+    workload: &Workload,
+    trace: &HashSet<FuncId>,
+) -> Option<Isv> {
     let kernel = instance.kernel.borrow();
     let graph = &kernel.graph;
     match instance.scheme {
@@ -233,12 +282,31 @@ pub fn measure_image(scheme: Scheme, image: &KernelImage, workload: &Workload) -
 }
 
 /// [`measure_cfg`] against a pre-generated kernel image.
+///
+/// # Panics
+///
+/// Panics if the simulation errors; use [`try_measure_image_cfg`] for a
+/// harness that must degrade gracefully (e.g. under fault injection).
 pub fn measure_image_cfg(
     scheme: Scheme,
     image: &KernelImage,
     workload: &Workload,
     pcfg: PerspectiveConfig,
 ) -> Measurement {
+    try_measure_image_cfg(scheme, image, workload, pcfg)
+        .unwrap_or_else(|e| panic!("measuring {} under {scheme} failed: {e}", workload.name))
+}
+
+/// [`measure_image_cfg`] that reports simulation failures as `Err`
+/// instead of panicking — a run that dies mid-ROI (a corrupted policy,
+/// an injected fault cascading into a machine error) comes back as a
+/// describable failure the caller can record.
+pub fn try_measure_image_cfg(
+    scheme: Scheme,
+    image: &KernelImage,
+    workload: &Workload,
+    pcfg: PerspectiveConfig,
+) -> Result<Measurement, String> {
     let mut instance = SimInstance::from_image_cfg(scheme, image, pcfg);
     let text = instance.text_base();
     let data = instance.data_base();
@@ -250,7 +318,7 @@ pub fn measure_image_cfg(
     instance
         .core
         .run(text, 80_000_000)
-        .unwrap_or_else(|e| panic!("warmup of {} under {scheme} failed: {e}", workload.name));
+        .map_err(|e| format!("warmup of {} under {scheme} failed: {e}", workload.name))?;
     let raw_trace = instance.core.take_call_trace();
     let trace = trace_to_funcs(&image.graph, &raw_trace);
 
@@ -270,10 +338,10 @@ pub fn measure_image_cfg(
     instance
         .core
         .run(text, 80_000_000)
-        .unwrap_or_else(|e| panic!("ROI of {} under {scheme} failed: {e}", workload.name));
+        .map_err(|e| format!("ROI of {} under {scheme} failed: {e}", workload.name))?;
     let stats = instance.core.stats().delta_since(&before);
 
-    Measurement {
+    Ok(Measurement {
         scheme,
         workload: workload.name,
         stats,
@@ -282,7 +350,7 @@ pub fn measure_image_cfg(
         dsvmt_cache: instance.policy_view(|p| p.dsvmt_cache_stats()),
         isv_funcs,
         metrics: collect_metrics(&instance, &stats),
-    }
+    })
 }
 
 /// [`measure`] under per-syscall ISV enforcement (§11 future work): a
@@ -295,11 +363,27 @@ pub fn measure_per_syscall(scheme: Scheme, kcfg: KernelConfig, workload: &Worklo
 }
 
 /// [`measure_per_syscall`] against a pre-generated kernel image.
+///
+/// # Panics
+///
+/// Panics if the simulation errors; use
+/// [`try_measure_per_syscall_image`] for graceful degradation.
 pub fn measure_per_syscall_image(
     scheme: Scheme,
     image: &KernelImage,
     workload: &Workload,
 ) -> Measurement {
+    try_measure_per_syscall_image(scheme, image, workload)
+        .unwrap_or_else(|e| panic!("measuring {} under {scheme} failed: {e}", workload.name))
+}
+
+/// [`measure_per_syscall_image`] that reports simulation failures as
+/// `Err` instead of panicking.
+pub fn try_measure_per_syscall_image(
+    scheme: Scheme,
+    image: &KernelImage,
+    workload: &Workload,
+) -> Result<Measurement, String> {
     let pcfg = PerspectiveConfig {
         per_syscall_isv: true,
         ..PerspectiveConfig::default()
@@ -313,7 +397,7 @@ pub fn measure_per_syscall_image(
     instance
         .core
         .run(text, 80_000_000)
-        .unwrap_or_else(|e| panic!("warmup of {} under {scheme} failed: {e}", workload.name));
+        .map_err(|e| format!("warmup of {} under {scheme} failed: {e}", workload.name))?;
 
     // One static closure per profile syscall, switched at dispatch.
     let mut total_funcs = 0;
@@ -341,10 +425,10 @@ pub fn measure_per_syscall_image(
     instance
         .core
         .run(text, 80_000_000)
-        .unwrap_or_else(|e| panic!("ROI of {} under {scheme} failed: {e}", workload.name));
+        .map_err(|e| format!("ROI of {} under {scheme} failed: {e}", workload.name))?;
     let stats = instance.core.stats().delta_since(&before);
 
-    Measurement {
+    Ok(Measurement {
         scheme,
         workload: workload.name,
         stats,
@@ -353,7 +437,7 @@ pub fn measure_per_syscall_image(
         dsvmt_cache: instance.policy_view(|p| p.dsvmt_cache_stats()),
         isv_funcs: Some(total_funcs),
         metrics: collect_metrics(&instance, &stats),
-    }
+    })
 }
 
 /// Measure a workload under every scheme in `schemes`; returns
