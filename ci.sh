@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy --release (warnings are errors)"
+cargo clippy --workspace --release -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -25,6 +28,21 @@ for exp in fig_9_2 table_10_1; do
     if ! diff -u "BENCH_$exp.json" "target/bench-json/$exp.json"; then
         echo "ci: $exp --json drifted from BENCH_$exp.json" >&2
         echo "ci: if the change is intended, regenerate the baseline (see EXPERIMENTS.md)" >&2
+        exit 1
+    fi
+done
+
+echo "==> fast-vs-slow differential smoke cell (PERSPECTIVE_NO_FASTFWD=1)"
+# The idle-cycle fast-forward must be invisible in every serialized
+# counter: the cycle-by-cycle slow path has to reproduce the checked-in
+# baselines byte for byte.
+for exp in fig_9_2 table_10_1; do
+    PERSPECTIVE_KERNEL=small PERSPECTIVE_THREADS=4 PERSPECTIVE_NO_FASTFWD=1 \
+        ./target/release/"$exp" --json >"target/bench-json/$exp.slow.json"
+    ./target/release/json_check <"target/bench-json/$exp.slow.json"
+    if ! diff -u "BENCH_$exp.json" "target/bench-json/$exp.slow.json"; then
+        echo "ci: $exp --json differs with the fast-forward disabled" >&2
+        echo "ci: the fast-forward must be cycle-exact; this is a pipeline bug, not a baseline drift" >&2
         exit 1
     fi
 done

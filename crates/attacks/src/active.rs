@@ -174,13 +174,27 @@ pub fn run_active_attack_with_config(
     secret: u8,
     pcfg: PerspectiveConfig,
 ) -> ActiveAttackReport {
-    let mut lab = AttackLab::with_full_config(
+    run_active_attack_core(
         scheme,
         kcfg,
-        &[Sysno::Getpid],
-        persp_uarch::config::CoreConfig::paper_default(),
+        secret,
         pcfg,
-    );
+        persp_uarch::config::CoreConfig::paper_default(),
+    )
+}
+
+/// [`run_active_attack_with_config`] with an explicit core
+/// configuration — the Spectre v1 cell of the fast-vs-slow differential
+/// harness, which runs the identical attack with the idle fast-forward
+/// on and off and asserts the verdicts match.
+pub fn run_active_attack_core(
+    scheme: Scheme,
+    kcfg: KernelConfig,
+    secret: u8,
+    pcfg: PerspectiveConfig,
+    core_cfg: persp_uarch::config::CoreConfig,
+) -> ActiveAttackReport {
+    let mut lab = AttackLab::with_full_config(scheme, kcfg, &[Sysno::Getpid], core_cfg, pcfg);
     execute_attack(&mut lab, secret).expect("attack harness runs")
 }
 

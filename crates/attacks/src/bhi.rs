@@ -51,9 +51,16 @@ pub struct BhiReport {
 }
 
 fn ibrs_core_config() -> CoreConfig {
+    ibrs_core_config_from(CoreConfig::paper_default())
+}
+
+/// IBRS-style BTB hardening layered over an arbitrary base
+/// configuration (the differential harness varies only
+/// `idle_fastforward` in the base).
+fn ibrs_core_config_from(base: CoreConfig) -> CoreConfig {
     CoreConfig {
         btb_mode: BtbMode::Ibrs,
-        ..CoreConfig::paper_default()
+        ..base
     }
 }
 
@@ -96,11 +103,18 @@ fn bhi_program(base: u64, history: u64, victim_ptr: u64) -> Vec<(u64, Inst)> {
 /// Run the full BHI attack against `scheme` (always on IBRS-hardened
 /// hardware — the point is bypassing that hardening).
 pub fn run_bhi(scheme: Scheme, kcfg: KernelConfig, secret: u8) -> BhiReport {
+    run_bhi_core(scheme, kcfg, secret, CoreConfig::paper_default())
+}
+
+/// [`run_bhi`] over an explicit base core configuration (the BHI cell
+/// of the fast-vs-slow differential harness); the IBRS hardening the
+/// attack bypasses is layered on top of `base`.
+pub fn run_bhi_core(scheme: Scheme, kcfg: KernelConfig, secret: u8, base: CoreConfig) -> BhiReport {
     let mut lab = AttackLab::with_core_config(
         scheme,
         kcfg,
         &[Sysno::Getpid, Sysno::Read],
-        ibrs_core_config(),
+        ibrs_core_config_from(base),
     );
     let (handler, kprobe_base) = lab
         .kernel

@@ -21,8 +21,13 @@ pub mod ebpf_attack;
 pub mod lab;
 pub mod passive;
 
-pub use active::{active_attack_succeeds, run_active_attack, ActiveAttackReport};
-pub use bhi::{bhi_succeeds, plain_v2_fails_under_ibrs, run_bhi, BhiReport};
+pub use active::{
+    active_attack_succeeds, run_active_attack, run_active_attack_core, ActiveAttackReport,
+};
+pub use bhi::{bhi_succeeds, plain_v2_fails_under_ibrs, run_bhi, run_bhi_core, BhiReport};
 pub use ebpf_attack::{run_ebpf_attack, EbpfAttackReport};
 pub use lab::{AttackLab, Scheme};
-pub use passive::{passive_attack_succeeds, run_btb_hijack, run_retbleed, PassiveAttackReport};
+pub use passive::{
+    passive_attack_succeeds, run_btb_hijack, run_btb_hijack_core, run_retbleed, run_retbleed_core,
+    PassiveAttackReport,
+};

@@ -120,14 +120,20 @@ pub fn run_btb_hijack_with_config(
     secret: u8,
     pcfg: PerspectiveConfig,
 ) -> PassiveAttackReport {
+    run_btb_hijack_core(scheme, kcfg, secret, pcfg, CoreConfig::paper_default())
+}
+
+/// [`run_btb_hijack_with_config`] with an explicit core configuration
+/// (the Spectre v2 cell of the fast-vs-slow differential harness).
+pub fn run_btb_hijack_core(
+    scheme: Scheme,
+    kcfg: KernelConfig,
+    secret: u8,
+    pcfg: PerspectiveConfig,
+    core_cfg: CoreConfig,
+) -> PassiveAttackReport {
     let victim_syscalls = [Sysno::Getpid, Sysno::Read];
-    let mut lab = AttackLab::with_full_config(
-        scheme,
-        kcfg,
-        &victim_syscalls,
-        CoreConfig::paper_default(),
-        pcfg,
-    );
+    let mut lab = AttackLab::with_full_config(scheme, kcfg, &victim_syscalls, core_cfg, pcfg);
     let (leak_func, kprobe_base) = lab
         .kernel
         .borrow()
@@ -198,13 +204,26 @@ pub fn run_btb_hijack_with_config(
 /// Retbleed-style hijack: deep `stat` call chain underflows the RSB; the
 /// underflowed return falls back to a poisoned BTB entry.
 pub fn run_retbleed(scheme: Scheme, kcfg: KernelConfig, secret: u8) -> PassiveAttackReport {
+    run_retbleed_core(scheme, kcfg, secret, CoreConfig::paper_default())
+}
+
+/// [`run_retbleed`] over an explicit base core configuration (the
+/// Retbleed cell of the fast-vs-slow differential harness); the
+/// attack's own `ret_resolve_latency` amplification is layered on top
+/// of `base`.
+pub fn run_retbleed_core(
+    scheme: Scheme,
+    kcfg: KernelConfig,
+    secret: u8,
+    base: CoreConfig,
+) -> PassiveAttackReport {
     let victim_syscalls = [Sysno::Stat];
     // ret_resolve_latency models the attacker evicting the victim's stack
     // lines so return-address resolution is slow (standard Retbleed
     // amplification).
     let core_cfg = CoreConfig {
         ret_resolve_latency: 30,
-        ..CoreConfig::paper_default()
+        ..base
     };
     let mut lab = AttackLab::with_core_config(scheme, kcfg, &victim_syscalls, core_cfg);
     let (leak_func, kprobe_base) = lab

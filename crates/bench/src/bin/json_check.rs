@@ -7,9 +7,10 @@ use std::io::Read;
 
 fn main() {
     let mut text = String::new();
-    std::io::stdin()
-        .read_to_string(&mut text)
-        .expect("read stdin");
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("json_check: failed to read stdin: {e}");
+        std::process::exit(1);
+    }
     match Json::parse(text.trim()) {
         Ok(doc) => {
             let name = doc

@@ -56,8 +56,18 @@ fn tail(stderr: &str, n: usize) -> String {
 
 fn main() {
     let json = report::json_mode();
-    let exe = std::env::current_exe().expect("self path");
-    let dir = exe.parent().expect("bin dir").to_path_buf();
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("run_all: cannot locate own executable (needed to find sibling experiment binaries): {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(dir) = exe.parent().map(|p| p.to_path_buf()) else {
+        eprintln!("run_all: executable path {exe:?} has no parent directory");
+        std::process::exit(1);
+    };
+    let started = std::time::Instant::now();
     // Split the worker budget: up to four children at a time, each given
     // an equal share of the configured thread count for its own matrix.
     let total = runner::num_threads();
@@ -116,7 +126,19 @@ fn main() {
             }
         }
         if failures.is_empty() {
-            println!("\nAll experiments completed.");
+            // Transcript-only timing note — never in --json, whose
+            // documents must stay byte-identical run to run.
+            let ff = std::env::var("PERSPECTIVE_NO_FASTFWD").map_or(true, |v| v.trim() != "1");
+            println!(
+                "\nAll experiments completed in {:.1} s wall-clock \
+                 (idle-cycle fast-forward: {}).",
+                started.elapsed().as_secs_f64(),
+                if ff {
+                    "on; PERSPECTIVE_NO_FASTFWD=1 selects the cycle-by-cycle slow path"
+                } else {
+                    "off"
+                }
+            );
         }
     }
 

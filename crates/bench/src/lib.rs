@@ -21,7 +21,14 @@ use std::collections::HashSet;
 pub fn kernel_config() -> KernelConfig {
     match std::env::var("PERSPECTIVE_KERNEL").as_deref() {
         Ok("small") => KernelConfig::test_small(),
-        _ => KernelConfig::paper(),
+        Ok("paper") | Ok("") | Err(_) => KernelConfig::paper(),
+        Ok(v) => {
+            eprintln!(
+                "warning: ignoring invalid PERSPECTIVE_KERNEL={v:?} \
+                 (expected \"small\" or \"paper\"); using the paper-scale kernel"
+            );
+            KernelConfig::paper()
+        }
     }
 }
 

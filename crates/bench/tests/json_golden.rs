@@ -10,12 +10,18 @@ use persp_bench::report::Json;
 use std::process::Command;
 
 fn fig_9_2_json(threads: &str) -> String {
-    let out = Command::new(env!("CARGO_BIN_EXE_fig_9_2"))
-        .arg("--json")
+    fig_9_2_json_env(threads, &[])
+}
+
+fn fig_9_2_json_env(threads: &str, extra_env: &[(&str, &str)]) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig_9_2"));
+    cmd.arg("--json")
         .env("PERSPECTIVE_KERNEL", "small")
-        .env("PERSPECTIVE_THREADS", threads)
-        .output()
-        .expect("spawn fig_9_2");
+        .env("PERSPECTIVE_THREADS", threads);
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn fig_9_2");
     assert!(
         out.status.success(),
         "fig_9_2 --json failed: {}",
@@ -78,4 +84,19 @@ fn fig_9_2_json_parses_and_is_identical_across_thread_widths() {
 
     // Our writer is a fixed point of our parser.
     assert_eq!(doc.render(), serial.trim());
+}
+
+#[test]
+fn fig_9_2_json_is_identical_with_the_fast_forward_disabled() {
+    // The idle-cycle fast-forward is a pure simulation-speed
+    // optimization: forcing the cycle-by-cycle slow path through
+    // PERSPECTIVE_NO_FASTFWD=1 must reproduce the exact same document,
+    // byte for byte — every cycle count, stall bucket, and cache
+    // counter included.
+    let fast = fig_9_2_json("4");
+    let slow = fig_9_2_json_env("4", &[("PERSPECTIVE_NO_FASTFWD", "1")]);
+    assert_eq!(
+        fast, slow,
+        "--json output must be byte-identical with the fast-forward on and off"
+    );
 }

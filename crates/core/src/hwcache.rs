@@ -78,6 +78,11 @@ impl persp_uarch::MetricsSource for HwCacheStats {
 impl persp_uarch::MetricsSource for TaggedMetadataCache {
     fn export_metrics(&self, prefix: &str, reg: &mut persp_uarch::MetricsRegistry) {
         persp_uarch::MetricsSource::export_metrics(&self.stats, prefix, reg);
+        let t = self.tlb.stats();
+        reg.set(format!("{prefix}.tlb.hits"), t.hits);
+        reg.set(format!("{prefix}.tlb.misses"), t.misses);
+        reg.set(format!("{prefix}.tlb.evictions"), t.evictions);
+        reg.set(format!("{prefix}.tlb.flushes"), t.flushes);
     }
 }
 
@@ -320,6 +325,23 @@ mod tests {
         c.invalidate_asid(1);
         assert_eq!(c.lookup(0x1000, 1), HwLookup::Miss);
         assert_eq!(c.lookup(0x1000, 2), HwLookup::Hit(true));
+    }
+
+    #[test]
+    fn exports_tlb_counters_alongside_cache_counters() {
+        use persp_uarch::{MetricsRegistry, MetricsSource};
+        let mut c = TaggedMetadataCache::new(HwCacheConfig::isv_paper());
+        let _ = c.lookup(0x1000, 1);
+        c.refill(0x1000, 1, |_| true); // refill walks the TLB
+        let _ = c.lookup(0x1000, 1);
+        let mut reg = MetricsRegistry::default();
+        c.export_metrics("isv", &mut reg);
+        assert_eq!(reg.get("isv.hits"), Some(1));
+        assert_eq!(reg.get("isv.misses"), Some(1));
+        assert_eq!(reg.get("isv.tlb.misses"), Some(1));
+        assert_eq!(reg.get("isv.tlb.hits"), Some(0));
+        assert_eq!(reg.get("isv.tlb.evictions"), Some(0));
+        assert_eq!(reg.get("isv.tlb.flushes"), Some(0));
     }
 
     #[test]

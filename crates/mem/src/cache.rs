@@ -128,6 +128,26 @@ impl Line {
     };
 }
 
+/// Miss path shared by [`Cache::access`] and [`Cache::touch_deferred`]:
+/// pick the LRU victim of `set` (any invalid way first), count the
+/// eviction if it displaces a live line, and install `tag` stamped with
+/// `clock`. A free function over the split borrows so callers keep
+/// `&mut self` usable.
+fn allocate_victim(set: &mut [Line], tag: u64, clock: u64, stats: &mut CacheStats) {
+    let victim = set
+        .iter_mut()
+        .min_by_key(|l| if l.valid { l.lru } else { 0 })
+        .expect("cache set is never empty");
+    if victim.valid {
+        stats.evictions += 1;
+    }
+    *victim = Line {
+        tag,
+        valid: true,
+        lru: clock,
+    };
+}
+
 /// A single set-associative cache level.
 ///
 /// See the [module docs](self) for the three access flavors.
@@ -204,18 +224,7 @@ impl Cache {
             return true;
         }
         self.stats.misses += 1;
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("cache set is never empty");
-        if victim.valid {
-            self.stats.evictions += 1;
-        }
-        *victim = Line {
-            tag,
-            valid: true,
-            lru: clock,
-        };
+        allocate_victim(set, tag, clock, &mut self.stats);
         false
     }
 
@@ -241,18 +250,7 @@ impl Cache {
             return true;
         }
         self.stats.misses += 1;
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("cache set is never empty");
-        if victim.valid {
-            self.stats.evictions += 1;
-        }
-        *victim = Line {
-            tag,
-            valid: true,
-            lru: clock,
-        };
+        allocate_victim(set, tag, clock, &mut self.stats);
         false
     }
 

@@ -37,13 +37,17 @@ impl TlbConfig {
     }
 }
 
-/// Hit/miss counters.
+/// Hit/miss counters (same shape as [`crate::CacheStats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
     /// Translations that hit.
     pub hits: u64,
     /// Translations that required a walk.
     pub misses: u64,
+    /// Walks whose refill displaced a live entry.
+    pub evictions: u64,
+    /// Live entries dropped by [`Tlb::invalidate_asid`].
+    pub flushes: u64,
 }
 
 impl TlbStats {
@@ -146,6 +150,9 @@ impl Tlb {
             .iter_mut()
             .min_by_key(|e| if e.valid { e.lru } else { 0 })
             .expect("tlb set is never empty");
+        if victim.valid {
+            self.stats.evictions += 1;
+        }
         *victim = TlbEntry {
             vpn,
             asid,
@@ -165,8 +172,9 @@ impl Tlb {
     pub fn invalidate_asid(&mut self, asid: u16) {
         for set in &mut self.sets {
             for e in set.iter_mut() {
-                if e.asid == asid {
+                if e.valid && e.asid == asid {
                     e.valid = false;
+                    self.stats.flushes += 1;
                 }
             }
         }
@@ -201,6 +209,46 @@ mod tests {
         t.invalidate_asid(1);
         assert_eq!(t.translate(0x1000, 1), 20);
         assert_eq!(t.translate(0x1000, 2), 1);
+    }
+
+    #[test]
+    fn evictions_and_flushes_across_two_asids() {
+        // 64-entry / 4-way => 16 sets; VPNs congruent mod 16 share a
+        // set. Fill set 0 with two pages per ASID (4 ways, no
+        // evictions yet), then overflow it and tear one space down.
+        let mut t = Tlb::new(TlbConfig::default_dtlb());
+        let va = |vpn: u64| vpn << 12;
+        t.translate(va(0), 1);
+        t.translate(va(16), 1);
+        t.translate(va(32), 2);
+        t.translate(va(48), 2);
+        assert_eq!(t.stats().evictions, 0, "set not yet full");
+
+        t.translate(va(64), 2); // 5th page in the set: displaces LRU (vpn 0, asid 1)
+        assert_eq!(t.stats().evictions, 1);
+        assert_eq!(t.translate(va(0), 1), 20, "victim was evicted");
+        assert_eq!(
+            t.stats().evictions,
+            2,
+            "refill displaced another live entry"
+        );
+
+        let before = t.stats();
+        t.invalidate_asid(2);
+        assert_eq!(
+            t.stats().flushes,
+            3,
+            "asid 2 had three live entries (one of its pages was evicted)"
+        );
+        t.invalidate_asid(2);
+        assert_eq!(
+            t.stats().flushes,
+            3,
+            "already-invalid entries do not recount"
+        );
+        assert_eq!(t.stats().hits, before.hits, "invalidation is not an access");
+        assert_eq!(t.translate(va(32), 2), 20, "asid 2 must re-walk");
+        assert_eq!(t.translate(va(0), 1), 1, "asid 1 untouched by the flush");
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! Model-based property testing of the set-associative cache against a
 //! reference LRU oracle, including Perspective's deferred-LRU semantics.
 
-use persp_mem::cache::{Cache, CacheConfig};
+use persp_mem::cache::{Cache, CacheConfig, CacheStats};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
 /// Reference model: per set, an LRU-ordered list of resident tags
-/// (front = most recently used).
+/// (front = most recently used). Counts the same events as
+/// [`CacheStats`] so the counters are pinned too, not just residency.
 struct OracleCache {
     sets: Vec<VecDeque<u64>>,
     ways: usize,
     line_shift: u32,
     set_bits: u32,
+    stats: CacheStats,
 }
 
 impl OracleCache {
@@ -22,6 +24,7 @@ impl OracleCache {
             ways: cfg.ways,
             line_shift: cfg.line_bytes.trailing_zeros(),
             set_bits: sets.trailing_zeros(),
+            stats: CacheStats::default(),
         }
     }
 
@@ -36,14 +39,18 @@ impl OracleCache {
     /// Normal access: returns hit, allocates, moves to MRU.
     fn access(&mut self, addr: u64) -> bool {
         let (set, tag) = self.locate(addr);
+        let ways = self.ways;
         let list = &mut self.sets[set];
         if let Some(pos) = list.iter().position(|&t| t == tag) {
             list.remove(pos);
             list.push_front(tag);
+            self.stats.hits += 1;
             true
         } else {
-            if list.len() == self.ways {
+            self.stats.misses += 1;
+            if list.len() == ways {
                 list.pop_back();
+                self.stats.evictions += 1;
             }
             list.push_front(tag);
             false
@@ -53,12 +60,16 @@ impl OracleCache {
     /// Deferred access: allocates at MRU on miss, does NOT reorder on hit.
     fn touch_deferred(&mut self, addr: u64) -> bool {
         let (set, tag) = self.locate(addr);
+        let ways = self.ways;
         let list = &mut self.sets[set];
         if list.contains(&tag) {
+            self.stats.hits += 1;
             true
         } else {
-            if list.len() == self.ways {
+            self.stats.misses += 1;
+            if list.len() == ways {
                 list.pop_back();
+                self.stats.evictions += 1;
             }
             list.push_front(tag);
             false
@@ -84,6 +95,7 @@ impl OracleCache {
         let list = &mut self.sets[set];
         if let Some(pos) = list.iter().position(|&t| t == tag) {
             list.remove(pos);
+            self.stats.flushes += 1;
             true
         } else {
             false
@@ -158,5 +170,8 @@ proptest! {
                 prop_assert_eq!(cache.probe(a), oracle.probe(a), "final state at {:#x}", a);
             }
         }
+        // Every counter, not just residency: hits, misses, evictions,
+        // flushes must all agree with the naive event counts.
+        prop_assert_eq!(cache.stats(), oracle.stats);
     }
 }

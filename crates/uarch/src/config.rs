@@ -34,6 +34,14 @@ pub struct CoreConfig {
     /// Core frequency in GHz (Table 7.1: 2.0) — used to convert cycles to
     /// wall-clock for requests-per-second reporting.
     pub freq_ghz: f64,
+    /// Skip runs of cycles in which no pipeline stage makes progress by
+    /// jumping straight to the next wake-up event (memory completion,
+    /// fence release, front-end refill). Provably cycle-exact — every
+    /// counter, including the stall-attribution breakdown, is advanced by
+    /// the skipped delta — so this is purely a simulator wall-clock
+    /// optimization. Default on; set `PERSPECTIVE_NO_FASTFWD=1` (honored
+    /// by the workload runner) to force the slow path.
+    pub idle_fastforward: bool,
 }
 
 impl CoreConfig {
@@ -54,6 +62,7 @@ impl CoreConfig {
             ret_resolve_latency: 8,
             retpoline_cost: 30,
             freq_ghz: 2.0,
+            idle_fastforward: true,
         }
     }
 }
@@ -78,5 +87,6 @@ mod tests {
         assert_eq!(c.btb_entries, 4096);
         assert_eq!(c.rsb_entries, 16);
         assert!((c.freq_ghz - 2.0).abs() < f64::EPSILON);
+        assert!(c.idle_fastforward, "fast-forward defaults on");
     }
 }

@@ -143,17 +143,64 @@ struct SrcDep {
     snapshot: u64,
 }
 
+/// The source operands of one instruction, inline (no instruction has
+/// more than two register sources — see [`Inst::srcs`]). `Copy` keeps
+/// the execute stage's per-cycle operand gather allocation-free; a
+/// heap `Vec` here was the single hottest allocation in the simulator.
+#[derive(Debug, Clone, Copy)]
+struct SrcList {
+    deps: [SrcDep; 2],
+    len: u8,
+}
+
+impl SrcList {
+    fn new(regs: &[u8], mut resolve: impl FnMut(u8) -> SrcDep) -> Self {
+        assert!(regs.len() <= 2, "at most two register sources");
+        let empty = SrcDep {
+            reg: 0,
+            producer: None,
+            snapshot: 0,
+        };
+        let mut deps = [empty; 2];
+        for (slot, &reg) in deps.iter_mut().zip(regs) {
+            *slot = resolve(reg);
+        }
+        SrcList {
+            deps,
+            len: regs.len() as u8,
+        }
+    }
+
+    fn as_slice(&self) -> &[SrcDep] {
+        &self.deps[..self.len as usize]
+    }
+}
+
 #[derive(Debug)]
 struct RobEntry {
     seq: u64,
     pc: u64,
     inst: Inst,
-    srcs: Vec<SrcDep>,
+    srcs: SrcList,
     /// Earliest cycle this instruction can begin executing (front-end).
     fetch_ready: u64,
     computed: bool,
     value: u64,
     ready_at: u64,
+    /// Host-side retry hint: the earliest cycle a failed operand gather
+    /// can turn out differently (the failing producer's `ready_at`; or
+    /// `u64::MAX` while sleeping in that producer's `waiters` list until
+    /// it computes; or `now + 1` when no sound bound exists).
+    /// `try_compute` is provably a side-effect-free no-op before this
+    /// cycle, so the execute stage skips the attempt. Never influences
+    /// simulated behavior.
+    retry_at: u64,
+    /// Host-side wakeup list: seqs of consumers whose operand gather is
+    /// asleep until this entry computes (`wake_waiters` resets their
+    /// `retry_at`). Capacity-bounded — consumers that don't fit keep
+    /// polling every cycle instead, so this is purely an acceleration.
+    waiters: [u64; 4],
+    n_waiters: u8,
     /// Branch-like bookkeeping (conditional, indirect, return).
     can_mispredict: bool,
     pred_target: u64,
@@ -197,6 +244,22 @@ impl RobEntry {
 
 const DEADLOCK_WINDOW: u64 = 50_000;
 
+/// One stall-attribution class (mirrors the fields of
+/// [`crate::stats::StallBreakdown`]); the classification half of stall
+/// accounting, factored out so the idle fast-forward can attribute a
+/// whole run of identical stall cycles in a single bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallClass {
+    IsvFence,
+    IsvMiss,
+    DsvFence,
+    DsvmtMiss,
+    VpWait,
+    Squash,
+    Frontend,
+    Backend,
+}
+
 /// The simulated out-of-order core.
 pub struct Core {
     /// Configuration (Table 7.1).
@@ -211,6 +274,21 @@ pub struct Core {
     hooks: Box<dyn HookHandler>,
 
     rob: VecDeque<RobEntry>,
+    /// Sequence numbers (ascending) of ROB entries the execute stage
+    /// still has to look at. Entries leave the list once *settled* —
+    /// computed with their result ready and unable to affect any
+    /// younger instruction — so the per-cycle execute scan touches only
+    /// the in-flight frontier instead of the whole ROB. Committed and
+    /// squashed entries are dropped lazily (their seq no longer
+    /// resolves). Purely a host-side acceleration: membership never
+    /// influences simulated behavior.
+    exec_active: VecDeque<u64>,
+    /// Mirror of `rob`'s sequence numbers, maintained at every ROB
+    /// push/pop. `index_of_seq` binary-searches this dense array instead
+    /// of probing the wide `RobEntry`s — seq lookup is the single
+    /// hottest operation in the simulator, and 8-byte keys keep the
+    /// whole search window inside a few cache lines.
+    rob_seqs: VecDeque<u64>,
     next_seq: u64,
     now: u64,
     last_commit_cycle: u64,
@@ -230,6 +308,17 @@ pub struct Core {
     spec_stack: Vec<u64>,
     lq_used: usize,
     sq_used: usize,
+
+    /// Did the last `step` mutate anything beyond the per-cycle clocks
+    /// and stall accounting? Set at every mutation site; a cycle that
+    /// leaves it false is provably idempotent until the next time
+    /// threshold, which is what licenses the idle fast-forward.
+    made_progress: bool,
+    /// Cycles skipped by the idle fast-forward. Deliberately *not* part
+    /// of [`SimStats`]: it is a property of the simulator, not of the
+    /// simulated machine, and must never reach serialized output (which
+    /// is required to be byte-identical with fast-forward on and off).
+    ff_skipped: u64,
 
     call_trace: Option<std::collections::HashSet<u64>>,
     sni: Option<SniChecker>,
@@ -255,6 +344,8 @@ impl Core {
             policy,
             hooks,
             rob: VecDeque::new(),
+            exec_active: VecDeque::new(),
+            rob_seqs: VecDeque::new(),
             next_seq: 0,
             now: 0,
             last_commit_cycle: 0,
@@ -269,6 +360,8 @@ impl Core {
             spec_stack: Vec::new(),
             lq_used: 0,
             sq_used: 0,
+            made_progress: false,
+            ff_skipped: 0,
             call_trace: None,
             sni: None,
             stats: SimStats::default(),
@@ -324,6 +417,14 @@ impl Core {
         self.now
     }
 
+    /// Cycles the idle fast-forward has skipped so far (0 when disabled).
+    /// A simulator-side diagnostic — intentionally outside [`SimStats`]
+    /// so serialized experiment output stays byte-identical with the
+    /// fast-forward on and off.
+    pub fn ff_skipped_cycles(&self) -> u64 {
+        self.ff_skipped
+    }
+
     /// Run the program at `entry` until a `Halt` commits or `max_cycles`
     /// elapse. Pipeline state is reset; architectural and
     /// microarchitectural (cache, predictor) state persists across runs —
@@ -337,6 +438,8 @@ impl Core {
         let start_stats = self.stats;
         let start_cycle = self.now;
         self.rob.clear();
+        self.rob_seqs.clear();
+        self.exec_active.clear();
         self.halted = false;
         self.fetch_pc = entry;
         self.fetch_stall_until = self.now;
@@ -363,7 +466,11 @@ impl Core {
                     head_pc: self.rob.front().map(|e| e.pc),
                 });
             }
+            self.made_progress = false;
             self.step()?;
+            if self.cfg.idle_fastforward && !self.made_progress {
+                self.fast_forward(start_cycle, max_cycles);
+            }
         }
         Ok(RunSummary {
             stats: self.stats.delta_since(&start_stats),
@@ -379,6 +486,8 @@ impl Core {
             // Classify before fetch refills the ROB: the state that
             // produced the empty commit slot is what gets the blame.
             self.record_stall();
+        } else {
+            self.made_progress = true;
         }
         self.fetch_stage()?;
         if self.machine.mode == Mode::Kernel {
@@ -397,8 +506,9 @@ impl Core {
     /// still in the ROB. Sequence numbers are monotonically increasing but
     /// *not* contiguous after squashes, so this is a binary search.
     fn index_of_seq(&self, seq: u64) -> Option<usize> {
-        let idx = self.rob.partition_point(|e| e.seq < seq);
-        (idx < self.rob.len() && self.rob[idx].seq == seq).then_some(idx)
+        debug_assert_eq!(self.rob_seqs.len(), self.rob.len());
+        let idx = self.rob_seqs.partition_point(|&s| s < seq);
+        (idx < self.rob_seqs.len() && self.rob_seqs[idx] == seq).then_some(idx)
     }
 
     /// Is the source value available at cycle `now`? Returns
@@ -433,22 +543,42 @@ impl Core {
 
     // ----- execute ------------------------------------------------------
 
+    /// Walks the in-flight frontier (see `exec_active`) in program
+    /// order, oldest first. Behaviorally identical to scanning the whole
+    /// ROB: a *settled* entry — computed, result ready, not a fence —
+    /// can never recompute (`computed` is sticky and `ready_at` is only
+    /// written on the not-computed → computed transition) and
+    /// contributes nothing to any of the three rolling ordering flags,
+    /// so dropping it from the scan is invisible to the simulation.
     fn exec_stage(&mut self) {
         let mut older_unresolved_branch = false;
         let mut older_uncommitted_fence = false;
         let mut older_store_addr_unknown = false;
 
-        for i in 0..self.rob.len() {
-            let (computed, fetch_ready) = {
-                let e = &self.rob[i];
-                (e.computed, e.fetch_ready)
+        let mut active = std::mem::take(&mut self.exec_active);
+        let mut keep = 0;
+        for k in 0..active.len() {
+            let seq = active[k];
+            // Committed and squashed entries fall off the list here.
+            let Some(i) = self.index_of_seq(seq) else {
+                continue;
             };
-            let inst = self.rob[i].inst;
+            {
+                let e = &self.rob[i];
+                if e.computed && e.ready_at <= self.now && !matches!(e.inst, Inst::Fence) {
+                    continue; // settled — permanently inert to this stage
+                }
+            }
+            let (computed, fetch_ready, retry_at, inst) = {
+                let e = &self.rob[i];
+                (e.computed, e.fetch_ready, e.retry_at, e.inst)
+            };
 
             if !computed
                 && !inst.is_serializing()
                 && !older_uncommitted_fence
                 && fetch_ready <= self.now
+                && retry_at <= self.now
             {
                 self.try_compute(i, older_unresolved_branch, older_store_addr_unknown);
             }
@@ -463,25 +593,77 @@ impl Core {
             if e.is_store() && !e.computed {
                 older_store_addr_unknown = true;
             }
+            active[keep] = seq;
+            keep += 1;
         }
+        active.truncate(keep);
+        self.exec_active = active;
     }
 
     fn try_compute(&mut self, i: usize, speculative: bool, older_store_addr_unknown: bool) {
-        // Gather sources.
-        let deps = self.rob[i].srcs.clone();
-        let mut vals = Vec::with_capacity(deps.len());
+        // Gather sources (SrcList is Copy — no per-attempt allocation).
+        let deps = self.rob[i].srcs;
+        let mut vals = [0u64; 2];
+        let mut nvals = 0;
         let mut src_ready = 0u64;
         let mut taint = TaintSet::default();
-        for dep in &deps {
+        let mut bumped = false;
+        for dep in deps.as_slice() {
             match self.src_status(dep) {
                 Some((v, r, t)) => {
-                    vals.push(v);
+                    vals[nvals] = v;
+                    nvals += 1;
                     src_ready = src_ready.max(r);
                     if taint.merge(&t) {
+                        // Counted even if a later operand turns out not
+                        // ready, so the bump can repeat across cycles:
+                        // a counter mutation the fast-forward must not
+                        // skip over.
                         self.stats.taint_roots_overflow += 1;
+                        self.made_progress = true;
+                        bumped = true;
                     }
                 }
-                None => return, // operands not ready
+                None => {
+                    // Operands not ready. Leave a retry hint so the
+                    // execute stage stops re-running this gather every
+                    // cycle: until the failing producer's result is
+                    // ready nothing observable can change — the deps
+                    // ahead of it are ready (their values, and whether
+                    // their merge bumps the overflow counter, are fixed
+                    // for the whole wait), and this attempt bumped
+                    // nothing. When it *did* bump (a saturated source
+                    // taint), the bump must repeat every cycle, so no
+                    // skip is allowed; same when the producer itself is
+                    // not yet computed (its finish time is unknown).
+                    let my_seq = self.rob[i].seq;
+                    self.rob[i].retry_at = if bumped {
+                        self.now + 1
+                    } else {
+                        match dep.producer.and_then(|s| self.index_of_seq(s)) {
+                            Some(p) if self.rob[p].computed => self.rob[p].ready_at,
+                            Some(p) => {
+                                // The producer hasn't even computed, so no
+                                // finish time exists yet: sleep in its
+                                // waiter list until its compute site wakes
+                                // us (fall back to polling if the list is
+                                // full). The producer is strictly older,
+                                // so any squash that kills it kills this
+                                // entry too — a sleeper can't be stranded.
+                                let q = &mut self.rob[p];
+                                if (q.n_waiters as usize) < q.waiters.len() {
+                                    q.waiters[q.n_waiters as usize] = my_seq;
+                                    q.n_waiters += 1;
+                                    u64::MAX
+                                } else {
+                                    self.now + 1
+                                }
+                            }
+                            None => self.now + 1,
+                        }
+                    };
+                    return;
+                }
             }
         }
 
@@ -587,6 +769,8 @@ impl Core {
                     e.taint = t;
                     e.computed = true;
                     e.issued_mem = false;
+                    self.made_progress = true;
+                    self.wake_waiters(i);
                     return;
                 }
                 // Policy gate.
@@ -626,6 +810,7 @@ impl Core {
                             e.width = width;
                             e.taint = taint;
                             self.stats.loads_fenced += 1;
+                            self.made_progress = true;
                         }
                     }
                 }
@@ -658,6 +843,34 @@ impl Core {
             // Serializing instructions are computed at the ROB head.
             _ => {}
         }
+        // Every arm that fired set `computed` (directly or via
+        // `issue_load`, which flags progress itself); the blocked-load
+        // arm flagged it explicitly above.
+        if self.rob[i].computed {
+            self.made_progress = true;
+            self.wake_waiters(i);
+        }
+    }
+
+    /// Wake consumers sleeping on entry `i`'s result (see
+    /// `RobEntry::waiters`): reset their gather-retry hint to this
+    /// entry's `ready_at`, the first cycle the operand can be read.
+    /// Must be called at every `computed` transition; entries that have
+    /// since left the ROB (squashed — a sleeper is always younger than
+    /// its producer) no longer resolve and are skipped.
+    fn wake_waiters(&mut self, i: usize) {
+        let n = self.rob[i].n_waiters as usize;
+        if n == 0 {
+            return;
+        }
+        let ready_at = self.rob[i].ready_at;
+        let ws = self.rob[i].waiters;
+        self.rob[i].n_waiters = 0;
+        for &w in &ws[..n] {
+            if let Some(j) = self.index_of_seq(w) {
+                self.rob[j].retry_at = ready_at;
+            }
+        }
     }
 
     fn issue_load(
@@ -687,6 +900,8 @@ impl Core {
         e.issued_mem = true;
         e.spec_at_issue = speculative;
         e.blocked = None;
+        self.made_progress = true;
+        self.wake_waiters(i);
     }
 
     // ----- squash -------------------------------------------------------
@@ -698,6 +913,7 @@ impl Core {
         }) else {
             return;
         };
+        self.made_progress = true;
 
         // Restore front-end state from the mispredicting entry's snapshots.
         let (actual_target, hist_snapshot, actual_taken, is_cond) = {
@@ -725,6 +941,7 @@ impl Core {
         // Drop younger entries.
         while self.rob.len() > i + 1 {
             let dropped = self.rob.pop_back().expect("len checked");
+            self.rob_seqs.pop_back();
             self.stats.squashed_insts += 1;
             if let Some(sni) = self.sni.as_mut() {
                 sni.on_squash(dropped.seq);
@@ -793,6 +1010,9 @@ impl Core {
                     };
                     self.policy.on_load_vp(&ctx);
                     self.rob[i].vp_notified = true;
+                    // The VP notification mutates policy-side state
+                    // (metadata-cache LRU commits, fence counters).
+                    self.made_progress = true;
                 }
             }
             if self.rob[i].unresolved_at(self.now) {
@@ -803,22 +1023,19 @@ impl Core {
 
     // ----- stall attribution --------------------------------------------
 
-    /// Account one stall cycle (nothing committed this cycle) to the
-    /// mechanism holding the ROB head back. Exactly one breakdown class
-    /// is bumped per call, so the breakdown always sums to
-    /// `stats.stall_cycles`.
-    fn record_stall(&mut self) {
-        self.stats.stall_cycles += 1;
-        let b = &mut self.stats.stalls;
+    /// Classify the mechanism holding the ROB head back at `self.now`.
+    /// Pure: shared by the per-cycle `record_stall` and by the idle
+    /// fast-forward, which accounts a whole run of identical stall cycles
+    /// in one step.
+    fn classify_stall(&self) -> StallClass {
         let Some(head) = self.rob.front() else {
             // Empty ROB: the front end is the bottleneck — either a
             // squash-redirect penalty or an ordinary fetch stall.
-            if self.now < self.squash_redirect_until {
-                b.squash += 1;
+            return if self.now < self.squash_redirect_until {
+                StallClass::Squash
             } else {
-                b.frontend += 1;
-            }
-            return;
+                StallClass::Frontend
+            };
         };
         // A policy-blocked head load — or one still paying the memory
         // latency of its delayed (post-VP) issue — blames the policy.
@@ -828,20 +1045,110 @@ impl Core {
             .then_some(head.block_memo)
             .flatten());
         if let Some(src) = policy_src {
-            match src {
-                BlockSource::Isv => b.isv_fence += 1,
-                BlockSource::IsvMiss => b.isv_miss += 1,
-                BlockSource::Dsv | BlockSource::UnknownAlloc => b.dsv_fence += 1,
-                BlockSource::DsvmtMiss => b.dsvmt_miss += 1,
-                BlockSource::Fence | BlockSource::Dom | BlockSource::Stt => b.vp_wait += 1,
-            }
-            return;
+            return match src {
+                BlockSource::Isv => StallClass::IsvFence,
+                BlockSource::IsvMiss => StallClass::IsvMiss,
+                BlockSource::Dsv | BlockSource::UnknownAlloc => StallClass::DsvFence,
+                BlockSource::DsvmtMiss => StallClass::DsvmtMiss,
+                BlockSource::Fence | BlockSource::Dom | BlockSource::Stt => StallClass::VpWait,
+            };
         }
         if !head.computed && head.fetch_ready > self.now {
-            b.frontend += 1;
+            StallClass::Frontend
         } else {
-            b.backend += 1;
+            StallClass::Backend
         }
+    }
+
+    /// Account `n` stall cycles to `class`, keeping the invariant that
+    /// the breakdown sums to `stats.stall_cycles` exactly.
+    fn account_stalls(&mut self, class: StallClass, n: u64) {
+        self.stats.stall_cycles += n;
+        let b = &mut self.stats.stalls;
+        match class {
+            StallClass::IsvFence => b.isv_fence += n,
+            StallClass::IsvMiss => b.isv_miss += n,
+            StallClass::DsvFence => b.dsv_fence += n,
+            StallClass::DsvmtMiss => b.dsvmt_miss += n,
+            StallClass::VpWait => b.vp_wait += n,
+            StallClass::Squash => b.squash += n,
+            StallClass::Frontend => b.frontend += n,
+            StallClass::Backend => b.backend += n,
+        }
+    }
+
+    /// Account one stall cycle (nothing committed this cycle) to the
+    /// mechanism holding the ROB head back. Exactly one breakdown class
+    /// is bumped per call, so the breakdown always sums to
+    /// `stats.stall_cycles`.
+    fn record_stall(&mut self) {
+        self.account_stalls(self.classify_stall(), 1);
+    }
+
+    // ----- idle fast-forward --------------------------------------------
+
+    /// Earliest future cycle at which any time-threshold comparison in
+    /// `step` can change its outcome: an in-flight instruction leaving
+    /// the front end (`fetch_ready`) or finishing execution/memory
+    /// (`ready_at`), the front end coming out of a redirect/refill/
+    /// retpoline stall (`fetch_stall_until`), or the squash-attribution
+    /// window closing (`squash_redirect_until` — a pure classification
+    /// boundary, but `record_stall` reads it). `u64::MAX` when no future
+    /// event exists (a genuine deadlock; the watchdog deadline caps it).
+    fn next_wake(&self) -> u64 {
+        // The idle step just ran at `now - 1`; the next step runs at
+        // `now`. A threshold at exactly `now` can already flip a
+        // comparison for that step, so `t >= now` (not `t > now`) —
+        // thresholds strictly in the past are settled by monotonicity.
+        let now = self.now;
+        let mut wake = u64::MAX;
+        let mut consider = |t: u64| {
+            if t >= now && t < wake {
+                wake = t;
+            }
+        };
+        for e in &self.rob {
+            if e.computed {
+                consider(e.ready_at);
+            } else {
+                consider(e.fetch_ready);
+            }
+        }
+        consider(self.fetch_stall_until);
+        consider(self.squash_redirect_until);
+        wake
+    }
+
+    /// Bulk-advance the clock over a run of idle cycles.
+    ///
+    /// Called right after a `step` that made no progress: such a step is
+    /// a pure function of `(state, now)` whose only effects are the
+    /// per-cycle clocks and one stall-attribution bump, and every time
+    /// comparison it performs is a monotone threshold check — so it stays
+    /// a no-op until [`Core::next_wake`]. Each skipped cycle is accounted
+    /// exactly as the slow path would have: `stall_cycles` and the (one,
+    /// constant over the interval) matching breakdown class, the
+    /// kernel/user cycle for the current (unchanging) privilege mode, and
+    /// `cycles`/`now`. The jump is capped at the cycle-budget and
+    /// deadlock-watchdog deadlines so both errors fire at the identical
+    /// cycle with identical counters as the slow path.
+    fn fast_forward(&mut self, start_cycle: u64, max_cycles: u64) {
+        let budget_deadline = start_cycle.saturating_add(max_cycles).saturating_add(1);
+        let deadlock_deadline = self.last_commit_cycle + DEADLOCK_WINDOW + 1;
+        let wake = self.next_wake().min(budget_deadline).min(deadlock_deadline);
+        let delta = wake.saturating_sub(self.now);
+        if delta == 0 {
+            return;
+        }
+        self.account_stalls(self.classify_stall(), delta);
+        if self.machine.mode == Mode::Kernel {
+            self.stats.kernel_cycles += delta;
+        } else {
+            self.stats.user_cycles += delta;
+        }
+        self.stats.cycles += delta;
+        self.now += delta;
+        self.ff_skipped += delta;
     }
 
     // ----- commit -------------------------------------------------------
@@ -860,6 +1167,10 @@ impl Core {
                 }
                 e.ready_at = self.now;
                 e.computed = true;
+                // Serializing instructions commit in this same loop pass:
+                // release any sleeping consumers before the entry leaves
+                // the ROB.
+                self.wake_waiters(0);
             }
 
             let head = self.rob.front().expect("nonempty");
@@ -872,6 +1183,7 @@ impl Core {
             );
 
             let entry = self.rob.pop_front().expect("nonempty");
+            self.rob_seqs.pop_front();
             self.last_commit_cycle = self.now;
             self.stats.committed_insts += 1;
             committed += 1;
@@ -1024,6 +1336,9 @@ impl Core {
             // Instruction-cache timing: one lookup per new line.
             let line = pc & !63;
             if line != self.last_fetch_line {
+                // The lookup itself mutates i-cache LRU/stats, even when
+                // it ends up stalling fetch instead of decoding.
+                self.made_progress = true;
                 let lat = self.mem.fetch(pc);
                 self.last_fetch_line = line;
                 if lat > self.mem.config().l1i.rt_latency {
@@ -1054,26 +1369,23 @@ impl Core {
     }
 
     fn decode_one(&mut self, pc: u64, inst: Inst) {
+        self.made_progress = true;
         let seq = self.next_seq;
         self.next_seq += 1;
 
-        let srcs: Vec<SrcDep> = inst
-            .srcs()
-            .into_iter()
-            .map(|reg| {
-                let producer = self.rename[reg as usize];
-                let snapshot = if producer.is_none() {
-                    self.machine.reg(reg)
-                } else {
-                    0
-                };
-                SrcDep {
-                    reg,
-                    producer,
-                    snapshot,
-                }
-            })
-            .collect();
+        let srcs = SrcList::new(&inst.srcs(), |reg| {
+            let producer = self.rename[reg as usize];
+            let snapshot = if producer.is_none() {
+                self.machine.reg(reg)
+            } else {
+                0
+            };
+            SrcDep {
+                reg,
+                producer,
+                snapshot,
+            }
+        });
 
         let fetch_ready = self.now + self.cfg.frontend_latency;
         let mut entry = RobEntry {
@@ -1085,6 +1397,9 @@ impl Core {
             computed: false,
             value: 0,
             ready_at: u64::MAX,
+            retry_at: 0,
+            waiters: [0; 4],
+            n_waiters: 0,
             can_mispredict: false,
             pred_target: 0,
             actual_target: 0,
@@ -1205,6 +1520,8 @@ impl Core {
             self.rename[dst as usize] = Some(seq);
         }
         self.rob.push_back(entry);
+        self.rob_seqs.push_back(seq);
+        self.exec_active.push_back(seq);
     }
 }
 

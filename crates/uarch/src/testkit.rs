@@ -9,7 +9,14 @@
 //! the out-of-order pipeline and through [`interpret`]; registers and
 //! the data pool must match exactly.
 
-use crate::isa::{AluOp, Cond, Inst, Width, INST_BYTES};
+use crate::config::CoreConfig;
+use crate::hooks::NullHooks;
+use crate::isa::{AluOp, Cond, Inst, Width, INST_BYTES, NUM_REGS};
+use crate::machine::Machine;
+use crate::pipeline::{Core, SimError};
+use crate::policy::SpecPolicy;
+use crate::stats::SimStats;
+use persp_mem::{CacheStats, HierarchyConfig, MemoryHierarchy};
 use std::collections::HashMap;
 
 /// Base address of the small data pool programs read and write (small,
@@ -194,6 +201,112 @@ pub fn interpret(
         regs[0] = 0;
     }
     panic!("oracle ran away");
+}
+
+/// Everything the idle fast-forward is required to preserve bit-for-bit,
+/// collected after a run so the fast and slow paths can be compared with
+/// one `assert_eq!`: the run result (per-run stats delta or the exact
+/// [`SimError`]), the final cycle, architectural state (registers and the
+/// shared data pool), and the microarchitectural cache statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastfwdOutcome {
+    /// `Core::run` result, reduced to its `PartialEq` payload.
+    pub result: Result<SimStats, SimError>,
+    /// `Core::now()` after the run — fast-forward must land on the same
+    /// cycle, not merely the same counters.
+    pub final_cycle: u64,
+    /// Cumulative core statistics — compared even when the run errors
+    /// out (budget exhaustion, deadlock), where `result` carries no
+    /// counters.
+    pub cumulative: SimStats,
+    /// Final architectural register file.
+    pub regs: [u64; NUM_REGS],
+    /// Final contents of the shared data pool.
+    pub pool: [u64; POOL_SLOTS as usize],
+    /// L1-D statistics (fast-forward skips only no-op cycles, so cache
+    /// traffic must be identical, not just architectural results).
+    pub l1d: CacheStats,
+    /// L1-I statistics.
+    pub l1i: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Prefetches issued by the hierarchy.
+    pub prefetches: u64,
+}
+
+/// Run `text` from `entry` on a fresh core with `idle_fastforward` set to
+/// `fastfwd`, and collect the [`FastfwdOutcome`]. `prepare` runs after
+/// construction (seed registers/memory, pre-warm caches); register 31 is
+/// pre-pointed at [`POOL_BASE`] per the testkit convention.
+pub fn fastfwd_outcome(
+    text: &[(u64, Inst)],
+    entry: u64,
+    budget: u64,
+    fastfwd: bool,
+    policy: Box<dyn SpecPolicy>,
+    prepare: &dyn Fn(&mut Core),
+) -> FastfwdOutcome {
+    let cfg = CoreConfig {
+        idle_fastforward: fastfwd,
+        ..CoreConfig::paper_default()
+    };
+    let mut machine = Machine::new();
+    machine.load_text(text.to_vec());
+    machine.set_reg(31, POOL_BASE);
+    let mut core = Core::new(
+        cfg,
+        machine,
+        MemoryHierarchy::new(HierarchyConfig::paper_default()),
+        policy,
+        Box::new(NullHooks),
+    );
+    prepare(&mut core);
+    let result = core.run(entry, budget).map(|s| s.stats);
+    let mut pool = [0u64; POOL_SLOTS as usize];
+    for (i, slot) in pool.iter_mut().enumerate() {
+        *slot = core.machine.mem.read_u64(POOL_BASE + 8 * i as u64);
+    }
+    FastfwdOutcome {
+        result,
+        final_cycle: core.now(),
+        cumulative: core.stats(),
+        regs: core.machine.regs(),
+        pool,
+        l1d: core.mem.l1d_stats(),
+        l1i: core.mem.l1i_stats(),
+        l2: core.mem.l2_stats(),
+        prefetches: core.mem.prefetch_count(),
+    }
+}
+
+/// The fast-vs-slow differential oracle: run the program under both the
+/// idle fast-forward and the slow per-cycle path and assert the two
+/// [`FastfwdOutcome`]s are identical. `mk_policy` is called once per
+/// path so each run gets fresh policy state.
+///
+/// # Panics
+///
+/// Panics when any run outcome component (stats, error, final cycle,
+/// registers, pool, cache statistics) differs between the two paths.
+pub fn assert_fastfwd_equivalent(
+    text: &[(u64, Inst)],
+    entry: u64,
+    budget: u64,
+    mk_policy: &dyn Fn() -> Box<dyn SpecPolicy>,
+    prepare: &dyn Fn(&mut Core),
+) {
+    let fast = fastfwd_outcome(text, entry, budget, true, mk_policy(), prepare);
+    let slow = fastfwd_outcome(text, entry, budget, false, mk_policy(), prepare);
+    assert_eq!(
+        fast, slow,
+        "idle fast-forward must be cycle-exact against the slow path"
+    );
+    let stats = &fast.cumulative;
+    assert_eq!(
+        stats.stalls.total(),
+        stats.stall_cycles,
+        "stall breakdown must still partition stall cycles: {stats:?}"
+    );
 }
 
 #[cfg(test)]

@@ -106,8 +106,22 @@ impl SimInstance {
     /// [`SimInstance::from_image`] with an explicit Perspective
     /// configuration. The image's call graph and text are shared, not
     /// regenerated — this is the constructor the parallel experiment
-    /// matrix uses for every cell.
+    /// matrix uses for every cell. The core configuration is taken from
+    /// the environment ([`core_config_from_env`]).
     pub fn from_image_cfg(scheme: Scheme, image: &KernelImage, pcfg: PerspectiveConfig) -> Self {
+        Self::from_image_core(scheme, image, pcfg, core_config_from_env())
+    }
+
+    /// [`SimInstance::from_image_cfg`] with an explicit core
+    /// configuration — the environment-free entry point; the fast-vs-slow
+    /// differential harness drives this directly instead of mutating
+    /// `PERSPECTIVE_NO_FASTFWD`.
+    pub fn from_image_core(
+        scheme: Scheme,
+        image: &KernelImage,
+        pcfg: PerspectiveConfig,
+        core_cfg: CoreConfig,
+    ) -> Self {
         let perspective = scheme.is_perspective().then(Perspective::new);
         let kernel = match &perspective {
             Some(p) => Kernel::from_image(image, p.sink()),
@@ -124,7 +138,7 @@ impl SimInstance {
             None => scheme.build_policy(None),
         };
         let core = Core::new(
-            CoreConfig::paper_default(),
+            core_cfg,
             machine,
             MemoryHierarchy::new(HierarchyConfig::paper_default()),
             policy,
@@ -169,7 +183,7 @@ impl SimInstance {
             scheme.build_policy(None)
         };
         let core = Core::new(
-            CoreConfig::paper_default(),
+            core_config_from_env(),
             machine,
             MemoryHierarchy::new(HierarchyConfig::paper_default()),
             wrap(policy, &perspective),
@@ -307,7 +321,21 @@ pub fn try_measure_image_cfg(
     workload: &Workload,
     pcfg: PerspectiveConfig,
 ) -> Result<Measurement, String> {
-    let mut instance = SimInstance::from_image_cfg(scheme, image, pcfg);
+    try_measure_image_full(scheme, image, workload, pcfg, core_config_from_env())
+}
+
+/// [`try_measure_image_cfg`] with an explicit core configuration — the
+/// environment-free entry point used by the fast-vs-slow differential
+/// harness ([`crate::differential`]) to run the identical measurement
+/// protocol under both stepping modes.
+pub fn try_measure_image_full(
+    scheme: Scheme,
+    image: &KernelImage,
+    workload: &Workload,
+    pcfg: PerspectiveConfig,
+    core_cfg: CoreConfig,
+) -> Result<Measurement, String> {
+    let mut instance = SimInstance::from_image_core(scheme, image, pcfg, core_cfg);
     let text = instance.text_base();
     let data = instance.data_base();
 
@@ -451,6 +479,29 @@ pub fn measure_schemes(
     run_parallel(schemes.to_vec(), |s| measure_image(s, &image, workload))
 }
 
+/// Core configuration honoring the `PERSPECTIVE_NO_FASTFWD` environment
+/// variable: the paper configuration, with the idle-cycle fast-forward
+/// disabled when `PERSPECTIVE_NO_FASTFWD=1`. The fast-forward is
+/// provably cycle-exact, so the slow path exists for differential
+/// validation (`ci.sh` re-runs the experiments under it and diffs the
+/// JSON output against the same baselines). `0`, empty, or unset keeps
+/// the default; any other value is rejected with a one-line warning on
+/// stderr naming the bad value, and the default is used.
+pub fn core_config_from_env() -> CoreConfig {
+    let mut cfg = CoreConfig::paper_default();
+    if let Ok(v) = std::env::var("PERSPECTIVE_NO_FASTFWD") {
+        match v.trim() {
+            "1" => cfg.idle_fastforward = false,
+            "" | "0" => {}
+            _ => eprintln!(
+                "warning: ignoring invalid PERSPECTIVE_NO_FASTFWD={v:?} \
+                 (expected 0 or 1); keeping the fast-forward enabled"
+            ),
+        }
+    }
+    cfg
+}
+
 /// Worker-pool width: the `PERSPECTIVE_THREADS` environment variable when
 /// it parses to a positive integer (accepted range: `1..=usize::MAX`;
 /// `1` forces fully serial execution), else the machine's available
@@ -551,12 +602,48 @@ pub fn run_matrix_with(
     schemes: &[Scheme],
     workloads: &[Workload],
 ) -> Vec<Measurement> {
+    run_matrix_core(threads, image, schemes, workloads, core_config_from_env())
+}
+
+/// [`run_matrix_with`] with an explicit core configuration — fully
+/// environment-free: the differential determinism tests run the same
+/// matrix with the fast-forward on and off at several pool widths and
+/// assert identical results, without touching `PERSPECTIVE_NO_FASTFWD`.
+pub fn run_matrix_core(
+    threads: usize,
+    image: &KernelImage,
+    schemes: &[Scheme],
+    workloads: &[Workload],
+    core_cfg: CoreConfig,
+) -> Vec<Measurement> {
     let jobs: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..schemes.len()).map(move |s| (w, s)))
         .collect();
     run_parallel_with(threads, jobs, |(w, s)| {
-        measure_image(schemes[s], image, &workloads[w])
+        measure_image_full(schemes[s], image, &workloads[w], core_cfg)
     })
+}
+
+/// [`measure_image`] with an explicit core configuration.
+///
+/// # Panics
+///
+/// Panics if the simulation errors (generated workloads are well-formed,
+/// so an error is a harness bug).
+pub fn measure_image_full(
+    scheme: Scheme,
+    image: &KernelImage,
+    workload: &Workload,
+    core_cfg: CoreConfig,
+) -> Measurement {
+    try_measure_image_full(
+        scheme,
+        image,
+        workload,
+        PerspectiveConfig::default(),
+        core_cfg,
+    )
+    .unwrap_or_else(|e| panic!("measuring {} under {scheme} failed: {e}", workload.name))
 }
 
 /// Normalized overhead of `m` versus a baseline measurement.

@@ -1,0 +1,38 @@
+//! LEBench-level fast-vs-slow differential: the full measurement
+//! protocol (warmup + dynamic-ISV profiling, view installation, ROI
+//! delta, exported metrics registry) must be identical with the
+//! idle-cycle fast-forward on and off, for baselines and for every
+//! Perspective scheme.
+
+use persp_kernel::callgraph::KernelConfig;
+use persp_kernel::kernel::KernelImage;
+use persp_workloads::differential::{assert_fastfwd_equivalent, measure_fastfwd_pair};
+use persp_workloads::lebench;
+use perspective::scheme::Scheme;
+
+#[test]
+fn lebench_cells_are_identical_under_both_stepping_modes() {
+    let image = KernelImage::build(KernelConfig::test_small());
+    for name in ["getpid", "small-read", "select"] {
+        let w = lebench::by_name(name).unwrap();
+        for scheme in [Scheme::Unsafe, Scheme::Fence, Scheme::Perspective] {
+            assert_fastfwd_equivalent(scheme, &image, &w);
+        }
+    }
+}
+
+#[test]
+fn differential_pair_actually_exercises_the_protocol() {
+    // Guard against the differential passing vacuously: the measured
+    // cell must have done real work (cycles, syscalls, stalls) and, for
+    // a Perspective scheme, carry the policy metrics layer.
+    let image = KernelImage::build(KernelConfig::test_small());
+    let w = lebench::by_name("getpid").unwrap();
+    let (fast, slow) = measure_fastfwd_pair(Scheme::Perspective, &image, &w);
+    for m in [&fast, &slow] {
+        assert!(m.stats.cycles > 0);
+        assert_eq!(m.stats.syscalls, w.total_syscalls());
+        assert!(m.stats.stall_cycles > 0, "real workloads stall");
+        assert!(m.metrics.get("policy.fences.isv").is_some());
+    }
+}

@@ -46,6 +46,35 @@ fn matrix_is_identical_serial_and_parallel() {
 }
 
 #[test]
+fn matrix_is_identical_with_fastforward_on_and_off_across_widths() {
+    // The idle fast-forward must be invisible in every measurement field
+    // at every worker-pool width: one slow-path golden render, and every
+    // (width, stepping-mode) combination must reproduce it byte for
+    // byte. Widths below, at, and above the cell count, plus a prime.
+    let image = KernelImage::build(KernelConfig::test_small());
+    let schemes = [Scheme::Unsafe, Scheme::Fence, Scheme::Perspective];
+    let workloads = vec![
+        lebench::by_name("getpid").unwrap(),
+        lebench::by_name("small-read").unwrap(),
+    ];
+    let (fast_cfg, slow_cfg) = persp_workloads::differential::fastfwd_pair();
+
+    let golden = render(&runner::run_matrix_core(
+        1, &image, &schemes, &workloads, slow_cfg,
+    ));
+    for width in [1usize, 2, 7] {
+        let fast = runner::run_matrix_core(width, &image, &schemes, &workloads, fast_cfg);
+        assert_eq!(
+            render(&fast),
+            golden,
+            "width {width}: fast-forward must be byte-invisible"
+        );
+    }
+    let slow_wide = runner::run_matrix_core(7, &image, &schemes, &workloads, slow_cfg);
+    assert_eq!(render(&slow_wide), golden, "slow path stable across widths");
+}
+
+#[test]
 fn run_parallel_preserves_job_order_under_contention() {
     // Jobs whose completion order is deliberately scrambled (later jobs
     // finish first) must still come back in submission order.
