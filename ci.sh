@@ -47,6 +47,32 @@ for exp in fig_9_2 table_10_1; do
     fi
 done
 
+echo "==> cell cache: cold, warm, and verify runs are byte-identical (small kernel)"
+# Cold-populate a throwaway cache, then re-run warm: both documents must
+# match each other AND the checked-in baselines exactly (hit/miss
+# counters are stderr-only observability, never part of the document).
+# A verify pass then recomputes every cell and asserts the stored
+# entries re-serialize byte-identically — a forgotten SIM_VERSION bump
+# fails here before it can poison anyone's cache.
+rm -rf target/persp-cache-ci
+for exp in fig_9_2 table_10_1; do
+    for mode in on on verify; do
+        PERSPECTIVE_KERNEL=small PERSPECTIVE_THREADS=4 \
+            PERSPECTIVE_CACHE=$mode PERSPECTIVE_CACHE_DIR=target/persp-cache-ci \
+            ./target/release/"$exp" --json >"target/bench-json/$exp.cache-$mode.json"
+        ./target/release/json_check <"target/bench-json/$exp.cache-$mode.json"
+        if ! diff -u "BENCH_$exp.json" "target/bench-json/$exp.cache-$mode.json"; then
+            echo "ci: $exp --json differs under PERSPECTIVE_CACHE=$mode" >&2
+            echo "ci: cached runs must be byte-identical to cold runs and the baseline" >&2
+            exit 1
+        fi
+    done
+done
+if ! ls target/persp-cache-ci/cell-*.json >/dev/null 2>&1; then
+    echo "ci: cache runs completed but no cell entries were written" >&2
+    exit 1
+fi
+
 echo "==> sni_check smoke run (small kernel): clean + canned fault plans"
 # The binary exits nonzero unless clean Perspective runs show zero SNI
 # violations, the UNSAFE baseline is flagged, the attack scenario leaks

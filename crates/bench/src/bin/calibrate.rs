@@ -1,7 +1,7 @@
 //! Calibration tool: structural statistics of the paper-scale kernel
 //! (static/live reachability and gadget placement per workload profile).
 //! Used to tune the generator toward the Table 8.1/8.2 targets; see
-//! DESIGN.md §6.
+//! DESIGN.md §7.
 
 use persp_bench::report::{self, Json};
 use persp_kernel::body::emit_kernel;

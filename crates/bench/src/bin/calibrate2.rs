@@ -1,7 +1,7 @@
 //! Calibration tool: per-scheme overheads, kernel-time fractions, and
 //! hardware-cache hit rates for a representative workload slice. Used to
 //! tune the timing model toward the Figure 9.2/9.3 targets; see
-//! DESIGN.md §6.
+//! DESIGN.md §7.
 
 use persp_bench::report::{self, Json};
 use persp_kernel::callgraph::KernelConfig;

@@ -35,8 +35,29 @@ pub fn kernel_config() -> KernelConfig {
 /// Generate the experiment kernel image once; see [`kernel_config`].
 /// Every (scheme, workload) cell of an experiment shares this image
 /// instead of regenerating the call graph.
+///
+/// The image is deliberately **rebuilt per bin process rather than
+/// cached on disk** like the simulation cells are: generation is a
+/// single-digit fraction of any bin's runtime (measured in
+/// EXPERIMENTS.md — ~1.2 s at paper scale against multi-second to
+/// minute-scale bins), while a lossless on-disk codec would have to
+/// round-trip the full call graph and emitted text (tens of MB of
+/// instructions and per-function metadata) and would plausibly parse
+/// slower than the generator runs. Set `PERSPECTIVE_IMAGE_TIMING=1` to
+/// print the measured build time on stderr (observability only — never
+/// on stdout, so transcripts stay byte-identical).
 pub fn kernel_image() -> KernelImage {
-    KernelImage::build(kernel_config())
+    let t0 = std::time::Instant::now();
+    let image = KernelImage::build(kernel_config());
+    if std::env::var("PERSPECTIVE_IMAGE_TIMING").is_ok_and(|v| v.trim() == "1") {
+        eprintln!(
+            "kernel image: {} functions, {} text instructions, built in {:.3} s",
+            image.graph.len(),
+            image.text.len(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    image
 }
 
 /// Print an experiment header.

@@ -13,6 +13,7 @@
 //!    dynamic from the trace, ISV++ hardened with a bounded scan);
 //! 4. **ROI run**, measured as a statistics delta (LEBench methodology).
 
+use crate::memo;
 use crate::spec::Workload;
 use persp_kernel::callgraph::{CallGraph, FuncId, KernelConfig};
 use persp_kernel::kernel::{Kernel, KernelImage, SharedKernel};
@@ -31,7 +32,7 @@ use perspective::isv::Isv;
 use perspective::policy::{FenceBreakdown, PerspectiveConfig, PerspectivePolicy};
 use perspective::scheme::Scheme;
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -328,7 +329,36 @@ pub fn try_measure_image_cfg(
 /// environment-free entry point used by the fast-vs-slow differential
 /// harness ([`crate::differential`]) to run the identical measurement
 /// protocol under both stepping modes.
+///
+/// All simulated experiment cells funnel through here, so this is where
+/// the content-addressed cell cache ([`crate::memo`]) is consulted:
+/// under `PERSPECTIVE_CACHE=on|verify` a cell whose complete input
+/// fingerprint matches a stored entry is served from (or verified
+/// against) disk. With the cache off — the default — behavior is
+/// unchanged.
 pub fn try_measure_image_full(
+    scheme: Scheme,
+    image: &KernelImage,
+    workload: &Workload,
+    pcfg: PerspectiveConfig,
+    core_cfg: CoreConfig,
+) -> Result<Measurement, String> {
+    memo::cached_measure(
+        &memo::CacheConfig::from_env(),
+        memo::Protocol::Standard,
+        scheme,
+        &image.cfg,
+        &pcfg,
+        &core_cfg,
+        workload,
+        || measure_image_uncached(scheme, image, workload, pcfg, core_cfg),
+    )
+}
+
+/// The actual measurement protocol behind [`try_measure_image_full`],
+/// always simulating (never consulting the cell cache). The verify-mode
+/// recomputation and the cache's own tests call this directly.
+pub fn measure_image_uncached(
     scheme: Scheme,
     image: &KernelImage,
     workload: &Workload,
@@ -406,7 +436,9 @@ pub fn measure_per_syscall_image(
 }
 
 /// [`measure_per_syscall_image`] that reports simulation failures as
-/// `Err` instead of panicking.
+/// `Err` instead of panicking. Cells are memoized under the cell cache
+/// with the distinct `per_syscall` protocol tag, so they never alias
+/// the standard protocol's entries.
 pub fn try_measure_per_syscall_image(
     scheme: Scheme,
     image: &KernelImage,
@@ -416,7 +448,27 @@ pub fn try_measure_per_syscall_image(
         per_syscall_isv: true,
         ..PerspectiveConfig::default()
     };
-    let mut instance = SimInstance::from_image_cfg(scheme, image, pcfg);
+    let core_cfg = core_config_from_env();
+    memo::cached_measure(
+        &memo::CacheConfig::from_env(),
+        memo::Protocol::PerSyscall,
+        scheme,
+        &image.cfg,
+        &pcfg,
+        &core_cfg,
+        workload,
+        || measure_per_syscall_uncached(scheme, image, workload, pcfg, core_cfg),
+    )
+}
+
+fn measure_per_syscall_uncached(
+    scheme: Scheme,
+    image: &KernelImage,
+    workload: &Workload,
+    pcfg: PerspectiveConfig,
+    core_cfg: CoreConfig,
+) -> Result<Measurement, String> {
+    let mut instance = SimInstance::from_image_core(scheme, image, pcfg, core_cfg);
     let text = instance.text_base();
     let data = instance.data_base();
 
@@ -609,6 +661,13 @@ pub fn run_matrix_with(
 /// environment-free: the differential determinism tests run the same
 /// matrix with the fast-forward on and off at several pool widths and
 /// assert identical results, without touching `PERSPECTIVE_NO_FASTFWD`.
+///
+/// Cells with identical input fingerprints (same scheme *and* same
+/// workload content — e.g. a caller passing a duplicated scheme list)
+/// are simulated once and the result is cloned into every duplicate
+/// position, so the worker pool only ever sees distinct cells. The
+/// returned vector is positionally identical to the naive per-cell
+/// loop: measurements are pure functions of their cell fingerprint.
 pub fn run_matrix_core(
     threads: usize,
     image: &KernelImage,
@@ -616,12 +675,35 @@ pub fn run_matrix_core(
     workloads: &[Workload],
     core_cfg: CoreConfig,
 ) -> Vec<Measurement> {
-    let jobs: Vec<(usize, usize)> = (0..workloads.len())
-        .flat_map(|w| (0..schemes.len()).map(move |s| (w, s)))
-        .collect();
-    run_parallel_with(threads, jobs, |(w, s)| {
+    let pcfg = PerspectiveConfig::default();
+    let mut canon_to_unique: HashMap<String, usize> = HashMap::new();
+    let mut cell_unique: Vec<usize> = Vec::with_capacity(workloads.len() * schemes.len());
+    let mut unique_jobs: Vec<(usize, usize)> = Vec::new();
+    for (w, workload) in workloads.iter().enumerate() {
+        for (s, &scheme) in schemes.iter().enumerate() {
+            let canonical = memo::canonical_cell(
+                memo::Protocol::Standard,
+                scheme,
+                &image.cfg,
+                &pcfg,
+                &core_cfg,
+                workload,
+            );
+            let next = unique_jobs.len();
+            let idx = *canon_to_unique.entry(canonical).or_insert(next);
+            if idx == next {
+                unique_jobs.push((w, s));
+            }
+            cell_unique.push(idx);
+        }
+    }
+    let unique_results = run_parallel_with(threads, unique_jobs, |(w, s)| {
         measure_image_full(schemes[s], image, &workloads[w], core_cfg)
-    })
+    });
+    cell_unique
+        .into_iter()
+        .map(|i| unique_results[i].clone())
+        .collect()
 }
 
 /// [`measure_image`] with an explicit core configuration.

@@ -1,0 +1,539 @@
+//! Key-sensitivity tests for the cell cache: every single simulation
+//! input field must perturb the [`CellKey`], identical inputs must
+//! produce the identical key in a *different process*, and the key must
+//! stay pinned to a golden value (a change here means the canonical
+//! format changed — which requires a `SIM_VERSION` bump).
+
+use persp_kernel::callgraph::KernelConfig;
+use persp_uarch::config::CoreConfig;
+use persp_uarch::predictor::BtbMode;
+use persp_workloads::memo::{self, CellKey, Protocol};
+use persp_workloads::{ArgVal, SyscallStep, Workload};
+use perspective::policy::PerspectiveConfig;
+use perspective::scheme::Scheme;
+
+fn fixture_workload() -> Workload {
+    use persp_kernel::syscalls::Sysno;
+    Workload {
+        name: "memo-key-fixture",
+        startup_steps: vec![SyscallStep::new(Sysno::Open, 1, 0)],
+        steps: vec![
+            SyscallStep::new(Sysno::Read, 3, 64),
+            SyscallStep::new(Sysno::Write, 3, 64),
+        ],
+        iters: 7,
+        user_work: 11,
+    }
+}
+
+fn fixture_key() -> CellKey {
+    memo::cell_key(&memo::canonical_cell(
+        Protocol::Standard,
+        Scheme::Perspective,
+        &KernelConfig::test_small(),
+        &PerspectiveConfig::default(),
+        &CoreConfig::paper_default(),
+        &fixture_workload(),
+    ))
+}
+
+fn key_with(
+    protocol: Protocol,
+    scheme: Scheme,
+    kcfg: &KernelConfig,
+    pcfg: &PerspectiveConfig,
+    core: &CoreConfig,
+    workload: &Workload,
+) -> CellKey {
+    memo::cell_key(&memo::canonical_cell(
+        protocol, scheme, kcfg, pcfg, core, workload,
+    ))
+}
+
+/// Flip one field at a time and demand a different key each time.
+#[test]
+fn every_input_field_perturbs_the_key() {
+    let base = fixture_key();
+    let kcfg = KernelConfig::test_small();
+    let pcfg = PerspectiveConfig::default();
+    let core = CoreConfig::paper_default();
+    let w = fixture_workload();
+
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(base.0);
+    let mut check = |label: &str, k: CellKey| {
+        assert_ne!(k, base, "{label}: key must change");
+        assert!(
+            seen.insert(k.0),
+            "{label}: key collides with another variant"
+        );
+    };
+
+    // Scheme and protocol.
+    check(
+        "scheme",
+        key_with(Protocol::Standard, Scheme::Fence, &kcfg, &pcfg, &core, &w),
+    );
+    check(
+        "protocol",
+        key_with(
+            Protocol::PerSyscall,
+            Scheme::Perspective,
+            &kcfg,
+            &pcfg,
+            &core,
+            &w,
+        ),
+    );
+
+    // Every KernelConfig knob, including the seed.
+    let kernel_variants: Vec<(&str, KernelConfig)> = vec![
+        (
+            "kernel.num_functions",
+            KernelConfig {
+                num_functions: kcfg.num_functions + 1,
+                ..kcfg
+            },
+        ),
+        (
+            "kernel.num_gadgets",
+            KernelConfig {
+                num_gadgets: kcfg.num_gadgets + 1,
+                ..kcfg
+            },
+        ),
+        (
+            "kernel.gadget_hot_fraction",
+            KernelConfig {
+                gadget_hot_fraction: kcfg.gadget_hot_fraction + 0.01,
+                ..kcfg
+            },
+        ),
+        (
+            "kernel.pool_mean",
+            KernelConfig {
+                pool_mean: kcfg.pool_mean + 1,
+                ..kcfg
+            },
+        ),
+        (
+            "kernel.num_utils",
+            KernelConfig {
+                num_utils: kcfg.num_utils + 1,
+                ..kcfg
+            },
+        ),
+        (
+            "kernel.cond_edge_prob",
+            KernelConfig {
+                cond_edge_prob: kcfg.cond_edge_prob + 0.01,
+                ..kcfg
+            },
+        ),
+        (
+            "kernel.flag_set_prob",
+            KernelConfig {
+                flag_set_prob: kcfg.flag_set_prob + 0.01,
+                ..kcfg
+            },
+        ),
+        (
+            "kernel.indirect_only_prob",
+            KernelConfig {
+                indirect_only_prob: kcfg.indirect_only_prob + 0.01,
+                ..kcfg
+            },
+        ),
+        (
+            "kernel.seed",
+            KernelConfig {
+                seed: kcfg.seed ^ 1,
+                ..kcfg
+            },
+        ),
+        (
+            "kernel.num_frames",
+            KernelConfig {
+                num_frames: kcfg.num_frames + 1,
+                ..kcfg
+            },
+        ),
+        (
+            "kernel.secure_slab",
+            KernelConfig {
+                secure_slab: !kcfg.secure_slab,
+                ..kcfg
+            },
+        ),
+    ];
+    for (label, variant) in kernel_variants {
+        check(
+            label,
+            key_with(
+                Protocol::Standard,
+                Scheme::Perspective,
+                &variant,
+                &pcfg,
+                &core,
+                &w,
+            ),
+        );
+    }
+
+    // Every PerspectiveConfig knob.
+    let pcfg_variants: Vec<(&str, PerspectiveConfig)> = vec![
+        (
+            "pcfg.enforce_dsv",
+            PerspectiveConfig {
+                enforce_dsv: !pcfg.enforce_dsv,
+                ..pcfg
+            },
+        ),
+        (
+            "pcfg.enforce_isv",
+            PerspectiveConfig {
+                enforce_isv: !pcfg.enforce_isv,
+                ..pcfg
+            },
+        ),
+        (
+            "pcfg.block_unknown",
+            PerspectiveConfig {
+                block_unknown: !pcfg.block_unknown,
+                ..pcfg
+            },
+        ),
+        (
+            "pcfg.isv_cache_entries",
+            PerspectiveConfig {
+                isv_cache_entries: pcfg.isv_cache_entries + 1,
+                ..pcfg
+            },
+        ),
+        (
+            "pcfg.dsvmt_cache_entries",
+            PerspectiveConfig {
+                dsvmt_cache_entries: pcfg.dsvmt_cache_entries + 1,
+                ..pcfg
+            },
+        ),
+        (
+            "pcfg.per_syscall_isv",
+            PerspectiveConfig {
+                per_syscall_isv: !pcfg.per_syscall_isv,
+                ..pcfg
+            },
+        ),
+    ];
+    for (label, variant) in pcfg_variants {
+        check(
+            label,
+            key_with(
+                Protocol::Standard,
+                Scheme::Perspective,
+                &kcfg,
+                &variant,
+                &core,
+                &w,
+            ),
+        );
+    }
+
+    // Every CoreConfig knob.
+    let core_variants: Vec<(&str, CoreConfig)> = vec![
+        (
+            "core.width",
+            CoreConfig {
+                width: core.width + 1,
+                ..core
+            },
+        ),
+        (
+            "core.rob_entries",
+            CoreConfig {
+                rob_entries: core.rob_entries + 1,
+                ..core
+            },
+        ),
+        (
+            "core.lq_entries",
+            CoreConfig {
+                lq_entries: core.lq_entries + 1,
+                ..core
+            },
+        ),
+        (
+            "core.sq_entries",
+            CoreConfig {
+                sq_entries: core.sq_entries + 1,
+                ..core
+            },
+        ),
+        (
+            "core.btb_entries",
+            CoreConfig {
+                btb_entries: core.btb_entries * 2,
+                ..core
+            },
+        ),
+        (
+            "core.btb_mode",
+            CoreConfig {
+                btb_mode: BtbMode::Ibrs,
+                ..core
+            },
+        ),
+        (
+            "core.rsb_entries",
+            CoreConfig {
+                rsb_entries: core.rsb_entries + 1,
+                ..core
+            },
+        ),
+        (
+            "core.frontend_latency",
+            CoreConfig {
+                frontend_latency: core.frontend_latency + 1,
+                ..core
+            },
+        ),
+        (
+            "core.mispredict_penalty",
+            CoreConfig {
+                mispredict_penalty: core.mispredict_penalty + 1,
+                ..core
+            },
+        ),
+        (
+            "core.branch_resolve_latency",
+            CoreConfig {
+                branch_resolve_latency: core.branch_resolve_latency + 1,
+                ..core
+            },
+        ),
+        (
+            "core.ret_resolve_latency",
+            CoreConfig {
+                ret_resolve_latency: core.ret_resolve_latency + 1,
+                ..core
+            },
+        ),
+        (
+            "core.retpoline_cost",
+            CoreConfig {
+                retpoline_cost: core.retpoline_cost + 1,
+                ..core
+            },
+        ),
+        (
+            "core.freq_ghz",
+            CoreConfig {
+                freq_ghz: core.freq_ghz + 0.1,
+                ..core
+            },
+        ),
+        (
+            "core.idle_fastforward",
+            CoreConfig {
+                idle_fastforward: !core.idle_fastforward,
+                ..core
+            },
+        ),
+    ];
+    for (label, variant) in core_variants {
+        check(
+            label,
+            key_with(
+                Protocol::Standard,
+                Scheme::Perspective,
+                &kcfg,
+                &pcfg,
+                &variant,
+                &w,
+            ),
+        );
+    }
+
+    // Workload content: name, step list contents, iters, user work.
+    let mut renamed = w.clone();
+    renamed.name = "memo-key-fixture-2";
+    check(
+        "workload.name",
+        key_with(
+            Protocol::Standard,
+            Scheme::Perspective,
+            &kcfg,
+            &pcfg,
+            &core,
+            &renamed,
+        ),
+    );
+    let mut extra_step = w.clone();
+    extra_step.steps.push(SyscallStep::new(
+        persp_kernel::syscalls::Sysno::Getpid,
+        0,
+        0,
+    ));
+    check(
+        "workload.steps",
+        key_with(
+            Protocol::Standard,
+            Scheme::Perspective,
+            &kcfg,
+            &pcfg,
+            &core,
+            &extra_step,
+        ),
+    );
+    let mut arg_changed = w.clone();
+    arg_changed.steps[0].arg0 = ArgVal::Imm(4);
+    check(
+        "workload.steps[0].arg0",
+        key_with(
+            Protocol::Standard,
+            Scheme::Perspective,
+            &kcfg,
+            &pcfg,
+            &core,
+            &arg_changed,
+        ),
+    );
+    let mut buf_vs_imm = w.clone();
+    // Same numeric payload, different ArgVal variant: must not alias.
+    buf_vs_imm.steps[0].arg0 = match buf_vs_imm.steps[0].arg0 {
+        ArgVal::Imm(v) => ArgVal::Buf(v),
+        ArgVal::Buf(v) => ArgVal::Imm(v),
+    };
+    check(
+        "workload ArgVal variant",
+        key_with(
+            Protocol::Standard,
+            Scheme::Perspective,
+            &kcfg,
+            &pcfg,
+            &core,
+            &buf_vs_imm,
+        ),
+    );
+    let mut startup_changed = w.clone();
+    startup_changed.startup_steps.clear();
+    check(
+        "workload.startup_steps",
+        key_with(
+            Protocol::Standard,
+            Scheme::Perspective,
+            &kcfg,
+            &pcfg,
+            &core,
+            &startup_changed,
+        ),
+    );
+    let mut iters_changed = w.clone();
+    iters_changed.iters += 1;
+    check(
+        "workload.iters",
+        key_with(
+            Protocol::Standard,
+            Scheme::Perspective,
+            &kcfg,
+            &pcfg,
+            &core,
+            &iters_changed,
+        ),
+    );
+    let mut work_changed = w.clone();
+    work_changed.user_work += 1;
+    check(
+        "workload.user_work",
+        key_with(
+            Protocol::Standard,
+            Scheme::Perspective,
+            &kcfg,
+            &pcfg,
+            &core,
+            &work_changed,
+        ),
+    );
+}
+
+/// The canonical serialization embeds `SIM_VERSION`, so bumping it
+/// invalidates every existing key. Simulate the bump by editing the
+/// version line of the canonical text.
+#[test]
+fn sim_version_salts_the_key() {
+    let canonical = memo::canonical_cell(
+        Protocol::Standard,
+        Scheme::Perspective,
+        &KernelConfig::test_small(),
+        &PerspectiveConfig::default(),
+        &CoreConfig::paper_default(),
+        &fixture_workload(),
+    );
+    let version_line = format!("sim_version={}\n", memo::SIM_VERSION);
+    assert!(
+        canonical.contains(&version_line),
+        "canonical text must embed SIM_VERSION"
+    );
+    let bumped = canonical.replace(
+        &version_line,
+        &format!("sim_version={}\n", memo::SIM_VERSION + 1),
+    );
+    assert_ne!(memo::cell_key(&canonical), memo::cell_key(&bumped));
+}
+
+/// Identical inputs must hash identically. (The cross-process guarantee
+/// is exercised for real in [`key_is_stable_across_processes`].)
+#[test]
+fn identical_inputs_produce_identical_keys() {
+    assert_eq!(fixture_key(), fixture_key());
+}
+
+/// Golden key pin: FNV-1a with fixed constants is process-independent,
+/// so this value must never drift between runs, processes, or hosts.
+/// If this test fails, the canonical format changed — bump
+/// `SIM_VERSION` and regenerate this constant (the assertion message
+/// prints the new value).
+#[test]
+fn golden_key_is_pinned() {
+    let key = fixture_key();
+    assert_eq!(
+        key.hex(),
+        "e137e6b319857da9",
+        "canonical cell format drifted; new key is {}",
+        key.hex()
+    );
+}
+
+/// Subprocess helper for [`key_is_stable_across_processes`]: when
+/// re-invoked with `PERSP_MEMO_EMIT_KEY=1`, print the fixture key.
+#[test]
+fn emit_key_for_subprocess() {
+    if std::env::var("PERSP_MEMO_EMIT_KEY").as_deref() == Ok("1") {
+        println!("FIXTURE_KEY={}", fixture_key().hex());
+    }
+}
+
+/// Re-run this test binary as a *second process* and demand it derives
+/// the same key — the property `DefaultHasher` (random per-process
+/// seed) would fail.
+#[test]
+fn key_is_stable_across_processes() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(&exe)
+        .args(["emit_key_for_subprocess", "--exact", "--nocapture"])
+        .env("PERSP_MEMO_EMIT_KEY", "1")
+        .output()
+        .expect("spawn test binary");
+    assert!(out.status.success(), "subprocess failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The harness may interleave its own "test ... ok" text around the
+    // marker, so locate it as a substring and take the hex that follows.
+    let at = stdout
+        .find("FIXTURE_KEY=")
+        .unwrap_or_else(|| panic!("no FIXTURE_KEY marker in subprocess output:\n{stdout}"));
+    let hex: String = stdout[at + "FIXTURE_KEY=".len()..]
+        .chars()
+        .take_while(char::is_ascii_hexdigit)
+        .collect();
+    assert_eq!(hex, fixture_key().hex(), "key differs across processes");
+}
